@@ -1,0 +1,274 @@
+// Benchmarks: one per experiment in DESIGN.md §4. Each benchmark
+// regenerates its table/series end to end, so `go test -bench=.` is the
+// full reproduction run in miniature; cmd/experiments produces the
+// human-readable tables from the same code.
+package cyclecover
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/bench"
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/routing"
+	"github.com/cyclecover/cyclecover/internal/survive"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+// T1: Theorem 1 sweep (odd n) — construction + verification + composition.
+func BenchmarkTheorem1OddCovering(b *testing.B) {
+	ns := []int{3, 9, 15, 21, 27, 33, 41}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableT1(ns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Optimal || !r.Valid {
+				b.Fatalf("n=%d not optimal/valid", r.N)
+			}
+		}
+	}
+}
+
+// T2: Theorem 2 sweep (even n) — search range plus layered tail.
+func BenchmarkTheorem2EvenCovering(b *testing.B) {
+	ns := []int{4, 8, 12, 16, 20, 24, 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableT2(ns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Valid {
+				b.Fatalf("n=%d invalid", r.N)
+			}
+		}
+	}
+}
+
+// T3: exact search certifications for small n.
+func BenchmarkExactSolverSmallN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := bench.TableT3([]int{4, 5, 6}, 6)
+		for _, r := range rows {
+			if !r.FoundAtRho || !r.ProvedBelow {
+				b.Fatalf("certification failed at n=%d", r.N)
+			}
+		}
+	}
+}
+
+// E1: the paper's worked example.
+func BenchmarkExampleK4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := bench.ExampleK4()
+		if res.BadTourRoutable || !res.GoodCoveringValid {
+			b.Fatal("example mismatch")
+		}
+	}
+}
+
+// C1: DRC vs unconstrained covering sizes.
+func BenchmarkBaselineComparison(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.TableC1([]int{5, 9, 15, 21, 31})
+	}
+}
+
+// C2: cycle-count vs total-size objectives.
+func BenchmarkObjectiveComparison(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.TableC2([]int{5, 9, 15, 21})
+	}
+}
+
+// F1: asymptotic series ρ(n)/n².
+func BenchmarkRhoAsymptotics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.SeriesF1([]int{11, 51, 101, 201, 401, 1001})
+	}
+}
+
+// F2: failure drills (single sweeps; double for the small sizes).
+func BenchmarkFailureRecovery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableF2([]int{5, 8, 11, 15}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.AllRestored {
+				b.Fatal("survivability violated")
+			}
+		}
+	}
+}
+
+// F3: WDM cost profiles.
+func BenchmarkWDMCost(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.TableF3([]int{5, 9, 13, 17}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// X1: λK_n extension.
+func BenchmarkLambdaKn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.TableX1([]int{7, 9}, []int{1, 2, 3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// X2: extension topologies.
+func BenchmarkExtensionTopologies(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.TableX2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A1: even-constructor ablation.
+func BenchmarkEvenAblation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.TableA1([]int{8, 12, 16, 24, 48})
+	}
+}
+
+// A2: verifier ablation — the O(k) structural DRC criterion vs the
+// explicit arc-disjointness re-verification.
+func BenchmarkVerifierAblation(b *testing.B) {
+	r := ring.MustNew(101)
+	cv := construct.Odd(101)
+	b.Run("structural", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, c := range cv.Cycles {
+				if !routing.Tour(c.Vertices()).IsRingOrdered(r) {
+					b.Fatal("structural check failed")
+				}
+			}
+		}
+	})
+	b.Run("explicit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, c := range cv.Cycles {
+				if err := cover.VerifyDRC(r, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// A3: sweep parallelisation — serial vs worker-pool table generation.
+func BenchmarkParallelSweep(b *testing.B) {
+	ns := []int{3, 9, 15, 21, 27, 33, 41, 51, 61, 71}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.ParallelTableT1(ns, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.ParallelTableT1(ns, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Micro-benchmarks for the core paths.
+
+func BenchmarkOddConstruction(b *testing.B) {
+	for _, n := range []int{21, 51, 101, 201} {
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cv := construct.Odd(n)
+				if cv.Size() != cover.Rho(n) {
+					b.Fatal("size mismatch")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVerifyCovering(b *testing.B) {
+	cv := construct.Odd(101)
+	demand := graph.Complete(101)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := cover.Verify(cv, demand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyCovering(b *testing.B) {
+	r := ring.MustNew(31)
+	demand := graph.Complete(31)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cv := construct.Greedy(r, demand)
+		if cv.Size() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkSingleFailureSweep(b *testing.B) {
+	res, err := construct.AllToAll(21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wdm.Plan(res.Covering, graph.Complete(21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := survive.NewSimulator(nw)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep, err := sim.SingleFailureSweep()
+		if err != nil || !sweep.AllRestored {
+			b.Fatal("sweep failed")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

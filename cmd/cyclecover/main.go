@@ -1,0 +1,140 @@
+// Command cyclecover generates, verifies and prints DRC cycle coverings.
+//
+// Usage:
+//
+//	cyclecover -n 9                       # optimal covering of K_9
+//	cyclecover -n 10 -json                # machine-readable output
+//	cyclecover -n 12 -demand hub:0        # greedy covering of hubbed demand
+//	cyclecover -n 8 -demand lambda:2      # covering of 2K_8
+//	cyclecover -n 14 -demand random:0.3:7 # random demand, density 0.3, seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cyclecover "github.com/cyclecover/cyclecover"
+)
+
+type output struct {
+	N         int     `json:"n"`
+	Demand    string  `json:"demand"`
+	Cycles    [][]int `json:"cycles"`
+	Size      int     `json:"size"`
+	Rho       int     `json:"rho,omitempty"`
+	Optimal   bool    `json:"optimal"`
+	Triangles int     `json:"c3"`
+	Quads     int     `json:"c4"`
+	Slack     int     `json:"slack"`
+	Valid     bool    `json:"valid"`
+}
+
+func main() {
+	n := flag.Int("n", 9, "ring size (>= 3)")
+	demandSpec := flag.String("demand", "alltoall",
+		"demand: alltoall | lambda:<k> | hub:<node> | neighbors | random:<density>:<seed>")
+	asJSON := flag.Bool("json", false, "emit JSON")
+	quiet := flag.Bool("quiet", false, "suppress per-cycle listing")
+	flag.Parse()
+
+	in, err := parseDemand(*n, *demandSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cv *cyclecover.Covering
+	optimal := false
+	if *demandSpec == "alltoall" {
+		cv, optimal, err = cyclecover.CoverAllToAll(*n)
+	} else {
+		cv, err = cyclecover.CoverInstance(in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	verifyErr := cyclecover.Verify(cv, in)
+
+	if *asJSON {
+		out := output{
+			N:         *n,
+			Demand:    in.Name,
+			Size:      cv.Size(),
+			Optimal:   optimal,
+			Triangles: cv.NumTriangles(),
+			Quads:     cv.NumQuads(),
+			Slack:     cv.DuplicateSlots(),
+			Valid:     verifyErr == nil,
+		}
+		if *demandSpec == "alltoall" {
+			out.Rho = cyclecover.Rho(*n)
+		}
+		for _, c := range cv.Cycles {
+			out.Cycles = append(out.Cycles, c.Vertices())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("demand: %s\n", in.Name)
+	fmt.Println(cyclecover.Describe(cv))
+	if *demandSpec == "alltoall" {
+		fmt.Printf("rho(%d) = %d, optimal certified: %v\n", *n, cyclecover.Rho(*n), optimal)
+	}
+	if verifyErr != nil {
+		fmt.Printf("VERIFY FAILED: %v\n", verifyErr)
+		os.Exit(1)
+	}
+	fmt.Println("verified: every request covered, every cycle DRC-routable")
+	if !*quiet {
+		for i, c := range cv.Cycles {
+			fmt.Printf("  cycle %3d: %v\n", i, c)
+		}
+	}
+}
+
+func parseDemand(n int, spec string) (cyclecover.Instance, error) {
+	switch {
+	case spec == "alltoall":
+		return cyclecover.AllToAll(n), nil
+	case spec == "neighbors":
+		return cyclecover.Neighbors(n), nil
+	case strings.HasPrefix(spec, "lambda:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "lambda:"))
+		if err != nil || k < 1 {
+			return cyclecover.Instance{}, fmt.Errorf("bad lambda spec %q", spec)
+		}
+		return cyclecover.LambdaAllToAll(n, k), nil
+	case strings.HasPrefix(spec, "hub:"):
+		h, err := strconv.Atoi(strings.TrimPrefix(spec, "hub:"))
+		if err != nil || h < 0 || h >= n {
+			return cyclecover.Instance{}, fmt.Errorf("bad hub spec %q", spec)
+		}
+		return cyclecover.Hub(n, h), nil
+	case strings.HasPrefix(spec, "random:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return cyclecover.Instance{}, fmt.Errorf("bad random spec %q (want random:<density>:<seed>)", spec)
+		}
+		d, err1 := strconv.ParseFloat(parts[1], 64)
+		s, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return cyclecover.Instance{}, fmt.Errorf("bad random spec %q", spec)
+		}
+		return cyclecover.RandomInstance(n, d, s), nil
+	default:
+		return cyclecover.Instance{}, fmt.Errorf("unknown demand %q", spec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cyclecover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseDemand(t *testing.T) {
+	cases := []struct {
+		spec     string
+		requests int
+		ok       bool
+	}{
+		{"alltoall", 21, true},
+		{"neighbors", 7, true},
+		{"lambda:2", 42, true},
+		{"hub:3", 6, true},
+		{"random:1.0:5", 21, true},
+		{"random:0.0:5", 0, true},
+		{"lambda:0", 0, false},
+		{"lambda:x", 0, false},
+		{"hub:9", 0, false},
+		{"hub:-1", 0, false},
+		{"random:0.5", 0, false},
+		{"random:a:b", 0, false},
+		{"bogus", 0, false},
+	}
+	for _, c := range cases {
+		in, err := parseDemand(7, c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("parseDemand(%q): err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if err == nil && in.Requests() != c.requests {
+			t.Errorf("parseDemand(%q): %d requests, want %d", c.spec, in.Requests(), c.requests)
+		}
+	}
+}

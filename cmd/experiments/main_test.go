@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestQuickSweepRuns is the end-to-end smoke test for the full experiment
+// harness: the -quick sweep must complete without error and emit every
+// section of DESIGN.md §4.
+func TestQuickSweepRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, section := range []string{
+		"T1 —", "T2 —", "T3 —", "E1 —", "C1 —", "C2 —",
+		"F1 —", "F2 —", "F3 —", "X1 —", "X2 —", "A1 —",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("missing section %q", section)
+		}
+	}
+	if strings.Contains(out, "false  true     search") {
+		t.Error("no search-range row may be invalid")
+	}
+}
+
+func TestSeq(t *testing.T) {
+	got := seq(3, 9, 2)
+	want := []int{3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("seq = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", got, want)
+		}
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestParseLinks(t *testing.T) {
+	links, err := parseLinks("3, 7,0")
+	if err != nil || len(links) != 3 || links[0] != 3 || links[1] != 7 || links[2] != 0 {
+		t.Fatalf("parseLinks = %v, %v", links, err)
+	}
+	if _, err := parseLinks("3,x"); err == nil {
+		t.Fatal("bad link: want error")
+	}
+	if _, err := parseLinks(""); err == nil {
+		t.Fatal("empty spec: want error")
+	}
+}

@@ -1,0 +1,166 @@
+// Package cyclecover is a Go implementation of survivable WDM ring design
+// by DRC cycle covering, reproducing Bermond, Coudert, Chacon and
+// Tillerot, "A Note on Cycle Covering", ACM SPAA 2001.
+//
+// The physical network is an undirected ring C_n; the logical demand is a
+// family of symmetric requests (the central case is all-to-all, K_n). A
+// design is a covering of the demand edges by cycles, each of which must
+// admit an edge-disjoint routing on the ring (the disjoint routing
+// constraint, DRC) so that it can be protected independently: each cycle
+// gets a working and a spare wavelength, and any single link failure is
+// recovered by switching traffic around the rest of its cycle.
+//
+// The package exposes:
+//
+//   - Rho, LowerBound, TheoremComposition — the paper's closed forms;
+//   - CoverAllToAll, CoverInstance — constructors (Theorem 1's
+//     construction for odd n is exactly optimal; even n is
+//     search-certified optimal up to the documented limit and
+//     asymptotically optimal beyond);
+//   - Verify — independent validity checking of any covering;
+//   - PlanWDM, NewSimulator — the optical layer and failure simulation.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction results.
+package cyclecover
+
+import (
+	"fmt"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/instance"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/survive"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+// Re-exported core types. They are defined in internal packages to keep
+// the implementation layers private; these aliases are the stable names.
+type (
+	// Ring is the physical cycle C_n.
+	Ring = ring.Ring
+	// Cycle is a DRC-routable cycle: a vertex set traversed in ring order.
+	Cycle = cover.Cycle
+	// Covering is a family of cycles intended to cover a demand.
+	Covering = cover.Covering
+	// Composition is a C3/C4 cycle mix.
+	Composition = cover.Composition
+	// Instance is a named demand set.
+	Instance = instance.Instance
+	// Network is a planned WDM design (subnetworks + wavelengths).
+	Network = wdm.Network
+	// CostModel weights the paper's cost drivers.
+	CostModel = wdm.CostModel
+	// Simulator drives failure scenarios.
+	Simulator = survive.Simulator
+	// FailureReport summarises one failure scenario.
+	FailureReport = survive.FailureReport
+	// Link identifies a ring link by its lower endpoint.
+	Link = ring.Link
+)
+
+// NewRing returns the physical ring C_n (n ≥ 3).
+func NewRing(n int) (Ring, error) { return ring.New(n) }
+
+// NewCycle builds a DRC cycle on the given ring from a vertex set.
+func NewCycle(r Ring, verts ...int) (Cycle, error) { return cover.NewCycle(r, verts...) }
+
+// NewCovering returns an empty covering over r, for hand-built designs.
+func NewCovering(r Ring) *Covering { return cover.NewCovering(r) }
+
+// Rho returns ρ(n), the paper's optimal number of cycles for K_n over C_n.
+func Rho(n int) int { return cover.Rho(n) }
+
+// LowerBound returns the implemented lower bound on ρ(n) (arc-length
+// counting plus the even-p refinement); it coincides with Rho for all n.
+func LowerBound(n int) int { return cover.LowerBound(n) }
+
+// TheoremComposition returns the C3/C4 mix stated by the paper's theorems.
+func TheoremComposition(n int) (Composition, bool) { return cover.TheoremComposition(n) }
+
+// AllToAll returns the total-exchange instance K_n.
+func AllToAll(n int) Instance { return instance.AllToAll(n) }
+
+// LambdaAllToAll returns the λK_n instance.
+func LambdaAllToAll(n, lambda int) Instance { return instance.Lambda(n, lambda) }
+
+// Hub returns the hubbed instance (all nodes to one hub).
+func Hub(n, hub int) Instance { return instance.Hub(n, hub) }
+
+// Neighbors returns the adjacency instance.
+func Neighbors(n int) Instance { return instance.Neighbors(n) }
+
+// RandomInstance samples a reproducible random symmetric demand.
+func RandomInstance(n int, density float64, seed int64) Instance {
+	return instance.RandomSymmetric(n, density, seed)
+}
+
+// CoverAllToAll constructs a DRC covering of K_n. optimal reports that the
+// covering provably has ρ(n) cycles (always true for odd n; true for even
+// n within the search range documented in DESIGN.md).
+func CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
+	res, err := construct.AllToAll(n)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Covering, res.Optimal, nil
+}
+
+// CoverInstance constructs a valid DRC covering for an arbitrary instance
+// over C_n (n = instance size): the closed-form machinery when the demand
+// is complete, the greedy constructor otherwise.
+func CoverInstance(in Instance) (*Covering, error) {
+	n := in.N()
+	r, err := ring.New(n)
+	if err != nil {
+		return nil, err
+	}
+	// Complete single-multiplicity demand: use the optimal machinery.
+	if in.Demand.DistinctEdges() == n*(n-1)/2 {
+		allOne := true
+		for _, e := range in.Demand.Edges() {
+			if in.Demand.Multiplicity(e.U, e.V) != 1 {
+				allOne = false
+				break
+			}
+		}
+		if allOne {
+			res, err := construct.AllToAll(n)
+			if err != nil {
+				return nil, err
+			}
+			return res.Covering, nil
+		}
+	}
+	return construct.Greedy(r, in.Demand), nil
+}
+
+// Verify checks that cv is a valid DRC covering of the instance: every
+// cycle routable edge-disjointly, every request covered at least its
+// multiplicity.
+func Verify(cv *Covering, in Instance) error {
+	return cover.Verify(cv, in.Demand)
+}
+
+// VerifyOptimalAllToAll additionally checks |cv| = ρ(n).
+func VerifyOptimalAllToAll(cv *Covering) error { return cover.VerifyOptimal(cv) }
+
+// PlanWDM builds the optical design: one subnetwork per cycle with working
+// and spare wavelengths, demand assignment, and cost accounting.
+func PlanWDM(cv *Covering, in Instance) (*Network, error) {
+	return wdm.Plan(cv, in.Demand)
+}
+
+// DefaultCostModel is the default weighting of the paper's cost drivers.
+func DefaultCostModel() CostModel { return wdm.DefaultCostModel }
+
+// NewSimulator wraps a planned network for failure drills.
+func NewSimulator(nw *Network) *Simulator { return survive.NewSimulator(nw) }
+
+// Describe returns a short human-readable summary of a covering.
+func Describe(cv *Covering) string {
+	s := cv.Summarize()
+	return fmt.Sprintf("covering of C_%d: %d cycles (%d C3, %d C4, %d longer), %d slots, slack %d",
+		s.N, s.Cycles, s.Triangles, s.Quads, s.Longer, s.Slots, s.Slack)
+}

@@ -1,0 +1,43 @@
+// Demand study: coverings for the non-uniform traffic patterns the
+// machinery must also serve — hubbed access traffic, neighbour-only metro
+// traffic, a random enterprise matrix, and the λK_n extension — each built
+// and verified through the public API, with the all-to-all optimum as the
+// reference point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cyclecover "github.com/cyclecover/cyclecover"
+)
+
+func main() {
+	const n = 12
+
+	patterns := []cyclecover.Instance{
+		cyclecover.AllToAll(n),
+		cyclecover.Hub(n, 0),
+		cyclecover.Neighbors(n),
+		cyclecover.RandomInstance(n, 0.35, 42),
+		cyclecover.LambdaAllToAll(n, 2),
+	}
+
+	fmt.Printf("coverings over C_%d (ρ(%d) = %d for the full exchange)\n\n", n, n, cyclecover.Rho(n))
+	fmt.Printf("%-28s  %9s  %7s  %5s  %5s\n", "demand", "requests", "cycles", "C3", "C4")
+	for _, in := range patterns {
+		covering, err := cyclecover.CoverInstance(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cyclecover.Verify(covering, in); err != nil {
+			log.Fatalf("%s: %v", in.Name, err)
+		}
+		fmt.Printf("%-28s  %9d  %7d  %5d  %5d\n",
+			in.Name, in.Requests(), covering.Size(),
+			covering.NumTriangles(), covering.NumQuads())
+	}
+
+	fmt.Println()
+	fmt.Println("every covering above re-verified: DRC routing + full coverage ✓")
+}

@@ -1,0 +1,50 @@
+// WDM ring planner: the workload from the paper's introduction — an
+// operator plans a survivable optical layer for a metro ring carrying
+// all-to-all traffic. The covering becomes the subnetwork design; each
+// cycle receives a working and a spare wavelength; the program reports the
+// equipment bill (wavelengths, ADMs, transit load, modelled cost) for a
+// range of ring sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cyclecover "github.com/cyclecover/cyclecover"
+)
+
+func main() {
+	fmt.Println("survivable WDM ring designs for all-to-all traffic")
+	fmt.Println()
+	fmt.Printf("%4s  %8s  %11s  %6s  %11s  %10s\n",
+		"n", "subnets", "wavelengths", "ADMs", "max transit", "cost")
+
+	for _, n := range []int{5, 7, 9, 11, 13, 15, 17} {
+		covering, _, err := cyclecover.CoverAllToAll(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		network, err := cyclecover.PlanWDM(covering, cyclecover.AllToAll(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %8d  %11d  %6d  %11d  %10.1f\n",
+			n, covering.Size(), network.Wavelengths(), network.ADMCount(),
+			network.MaxTransit(), cyclecover.DefaultCostModel().Cost(network))
+	}
+
+	fmt.Println()
+	fmt.Println("detailed plan for n = 11:")
+	covering, _, err := cyclecover.CoverAllToAll(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	network, err := cyclecover.PlanWDM(covering, cyclecover.AllToAll(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range network.Subnets {
+		fmt.Printf("  subnetwork %2d: cycle %-14v working λ%-3d spare λ%-3d\n",
+			s.Index, s.Cycle, s.Working, s.Spare)
+	}
+}

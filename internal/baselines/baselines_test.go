@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
+)
+
+func TestTriangleCoverNumberKnownValues(t *testing.T) {
+	// Classical values: C(4)=3, C(5)=4, C(6)=6, C(7)=7 (Fano plane).
+	want := map[int]int{3: 1, 4: 3, 5: 4, 6: 6, 7: 7, 9: 12}
+	for n, w := range want {
+		if got := TriangleCoverNumber(n); got != w {
+			t.Errorf("TriangleCoverNumber(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestTriangleCoverBelowRhoNeverHolds(t *testing.T) {
+	// Dropping the DRC can only help: the unconstrained covering number
+	// is bounded by... in fact triangles-only may exceed ρ for large n,
+	// but the *slot* bound must hold: 3·C(n) ≥ |E|.
+	for n := 3; n <= 60; n++ {
+		if 3*TriangleCoverNumber(n) < n*(n-1)/2 {
+			t.Errorf("n=%d: triangle cover number violates counting bound", n)
+		}
+	}
+}
+
+func TestQuadCoverBound(t *testing.T) {
+	if got := QuadCoverBound(8); got != 7 {
+		t.Errorf("QuadCoverBound(8) = %d, want 7", got)
+	}
+	if got := QuadCoverBound(5); got != 3 {
+		t.Errorf("QuadCoverBound(5) = %d, want 3", got)
+	}
+}
+
+func TestPerEdgeNaive(t *testing.T) {
+	if PerEdgeNaive(7) != 21 {
+		t.Error("PerEdgeNaive(7) != 21")
+	}
+}
+
+func TestGreedyTriangleCoverValid(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 13} {
+		tris := GreedyTriangleCover(n)
+		covered := map[graph.Edge]bool{}
+		for _, tri := range tris {
+			covered[graph.NewEdge(tri[0], tri[1])] = true
+			covered[graph.NewEdge(tri[0], tri[2])] = true
+			covered[graph.NewEdge(tri[1], tri[2])] = true
+		}
+		if len(covered) != n*(n-1)/2 {
+			t.Fatalf("n=%d: greedy covers %d pairs, want %d", n, len(covered), n*(n-1)/2)
+		}
+		// Greedy cannot beat the covering number.
+		if len(tris) < TriangleCoverNumber(n) {
+			t.Fatalf("n=%d: greedy used %d < covering number %d — formula or greedy broken",
+				n, len(tris), TriangleCoverNumber(n))
+		}
+	}
+}
+
+func TestDRCTriangleOnlyValid(t *testing.T) {
+	for _, n := range []int{4, 5, 7, 10, 13} {
+		cv := DRCTriangleOnly(n)
+		if err := cover.Verify(cv, graph.Complete(n)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, c := range cv.Cycles {
+			if !c.IsTriangle() {
+				t.Fatalf("n=%d: non-triangle %v", n, c)
+			}
+		}
+		// Triangles-only DRC can never beat ρ(n).
+		if cv.Size() < cover.Rho(n) {
+			t.Fatalf("n=%d: triangles-only %d < ρ %d", n, cv.Size(), cover.Rho(n))
+		}
+	}
+}
+
+func TestSizeStats(t *testing.T) {
+	cv := DRCTriangleOnly(6)
+	s := SizeStats(cv)
+	if s.Cycles != cv.Size() || s.TotalSize != 3*cv.Size() {
+		t.Errorf("SizeStats = %+v inconsistent with covering", s)
+	}
+	if s.MeanSize != 3.0 {
+		t.Errorf("triangles-only mean size = %f, want 3", s.MeanSize)
+	}
+	if s.EdgesServed != 15 {
+		t.Errorf("EdgesServed = %d, want 15", s.EdgesServed)
+	}
+}
+
+func TestTotalSizeLowerBound(t *testing.T) {
+	for n := 3; n <= 30; n++ {
+		cv := DRCTriangleOnly(n)
+		if cv.TotalVertices() < TotalSizeLowerBound(n) {
+			t.Fatalf("n=%d: EMZ objective below its lower bound", n)
+		}
+	}
+}

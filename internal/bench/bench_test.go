@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableT1(t *testing.T) {
+	rows, err := TableT1([]int{3, 5, 7, 9, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Valid || !r.Optimal {
+			t.Errorf("n=%d: valid=%v optimal=%v", r.N, r.Valid, r.Optimal)
+		}
+		if r.Constructed != r.Rho || r.C3 != r.TheoremC3 || r.C4 != r.TheoremC4 {
+			t.Errorf("n=%d: row %+v disagrees with theorem", r.N, r)
+		}
+		if r.Slack != 0 {
+			t.Errorf("n=%d: odd covering must be a partition", r.N)
+		}
+	}
+	if _, err := TableT1([]int{4}); err == nil {
+		t.Error("even n in T1: want error")
+	}
+	out := RenderT1(rows)
+	if !strings.Contains(out, "rho(n)") || !strings.Contains(out, "21") {
+		t.Error("render must include headers and data")
+	}
+}
+
+func TestTableT2(t *testing.T) {
+	rows, err := TableT2([]int{4, 6, 8, 10, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			t.Errorf("n=%d: invalid covering", r.N)
+		}
+		if r.Achieved < r.Rho {
+			t.Errorf("n=%d: achieved %d below ρ %d", r.N, r.Achieved, r.Rho)
+		}
+		if r.N <= 20 && !r.Optimal {
+			t.Errorf("n=%d: want optimal in search range", r.N)
+		}
+		if r.Ratio < 1 || r.Ratio > 1.5 {
+			t.Errorf("n=%d: ratio %f out of band", r.N, r.Ratio)
+		}
+	}
+	if _, err := TableT2([]int{5}); err == nil {
+		t.Error("odd n in T2: want error")
+	}
+	if out := RenderT2(rows); !strings.Contains(out, "method") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableT3(t *testing.T) {
+	rows := TableT3([]int{4, 5, 6}, 6)
+	for _, r := range rows {
+		if !r.FoundAtRho {
+			t.Errorf("n=%d: no covering found at ρ", r.N)
+		}
+		if !r.ProvedBelow {
+			t.Errorf("n=%d: ρ−1 infeasibility not proved", r.N)
+		}
+	}
+	if out := RenderT3(rows); !strings.Contains(out, "infeasible") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExampleK4(t *testing.T) {
+	res := ExampleK4()
+	if res.BadTourRoutable {
+		t.Error("paper example: (1,3,4,2) must not be routable")
+	}
+	if !res.GoodCoveringValid || res.GoodCoveringSize != 3 || res.RhoOfK4 != 3 {
+		t.Errorf("paper example mismatch: %+v", res)
+	}
+}
+
+func TestTableC1(t *testing.T) {
+	rows := TableC1([]int{5, 9, 15})
+	for _, r := range rows {
+		if r.GreedyTriangle < r.TriangleNoDRC {
+			t.Errorf("n=%d: greedy beats the covering number", r.N)
+		}
+		if r.PerEdge < r.RhoDRC {
+			t.Errorf("n=%d: per-edge naive cannot beat ρ", r.N)
+		}
+	}
+	if out := RenderC1(rows); !strings.Contains(out, "noDRC") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableC2(t *testing.T) {
+	rows := TableC2([]int{5, 7, 9})
+	for _, r := range rows {
+		if r.OurCycles > r.TriCycles {
+			t.Errorf("n=%d: optimal mix must not use more cycles than triangles-only", r.N)
+		}
+		if r.OurTotalSize < r.SizeLB || r.TriTotalSize < r.SizeLB {
+			t.Errorf("n=%d: EMZ lower bound violated", r.N)
+		}
+		// Odd n: the optimal covering is a partition, so it is also
+		// EMZ-optimal (total size = |E|).
+		if r.N%2 == 1 && r.OurTotalSize != r.SizeLB {
+			t.Errorf("n=%d: odd covering should meet the EMZ bound exactly", r.N)
+		}
+	}
+	if out := RenderC2(rows); !strings.Contains(out, "Σ|C|") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSeriesF1(t *testing.T) {
+	rows := SeriesF1([]int{11, 51, 101, 201})
+	for i := 1; i < len(rows); i++ {
+		d0 := rows[i-1].Ratio - 0.125
+		d1 := rows[i].Ratio - 0.125
+		if abs(d1) > abs(d0) {
+			t.Errorf("ratio must approach 1/8: %v then %v", rows[i-1], rows[i])
+		}
+	}
+	if out := RenderF1(rows); !strings.Contains(out, "0.12500") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableF2(t *testing.T) {
+	rows, err := TableF2([]int{5, 8, 11}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.AllRestored {
+			t.Errorf("n=%d: single failures must all restore", r.N)
+		}
+		if r.AffectedPerCut != r.Subnets {
+			t.Errorf("n=%d: every cut breaks one arc per subnetwork", r.N)
+		}
+		if r.N <= 8 && (r.DoubleMean < 0 || r.DoubleWorst > r.DoubleMean) {
+			t.Errorf("n=%d: double-failure stats inconsistent: %+v", r.N, r)
+		}
+	}
+	if out := RenderF2(rows); !strings.Contains(out, "2-cut") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableF3(t *testing.T) {
+	rows, err := TableF3([]int{5, 9, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Wavelengths != 2*r.Subnets {
+			t.Errorf("n=%d: wavelengths must be 2·subnets", r.N)
+		}
+		if i > 0 && r.Cost <= rows[i-1].Cost {
+			t.Errorf("cost must grow with n")
+		}
+	}
+	if out := RenderF3(rows); !strings.Contains(out, "ADMs") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableX1(t *testing.T) {
+	rows, err := TableX1([]int{7}, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			t.Errorf("λ=%d invalid", r.Lambda)
+		}
+		if r.Cycles < r.Bound {
+			t.Errorf("λ=%d: cycles below bound", r.Lambda)
+		}
+	}
+	if rows[1].Cycles != 2*rows[0].Cycles {
+		t.Error("λ-fold stacking must scale linearly")
+	}
+	if out := RenderX1(rows); !strings.Contains(out, "lambda") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableX2(t *testing.T) {
+	rows, err := TableX2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 topology rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			t.Errorf("%s: invalid", r.Topology)
+		}
+	}
+	// The torus checkerboard is the exact-cover analogue.
+	if !rows[1].Exact {
+		t.Error("torus checkerboard must cover each edge exactly once")
+	}
+	if out := RenderX2(rows); !strings.Contains(out, "torus") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTableA1(t *testing.T) {
+	rows := TableA1([]int{8, 12, 24})
+	for _, r := range rows {
+		if r.Achieved > r.Layered {
+			t.Errorf("n=%d: full constructor worse than layered", r.N)
+		}
+		if r.Achieved < r.Rho {
+			t.Errorf("n=%d: below ρ — impossible", r.N)
+		}
+	}
+	if out := RenderA1(rows); !strings.Contains(out, "layered") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := Render([]string{"a", "long-header"}, [][]string{{"123456", "x"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator must align with header")
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates f over ns with a bounded worker pool, preserving
+// input order in the result. The experiment sweeps are embarrassingly
+// parallel (one ring size per row), and the constructors are safe for
+// concurrent use (pure functions plus a mutex-guarded cache in
+// construct.Even), so the big tables scale with cores. workers ≤ 0 selects
+// GOMAXPROCS.
+func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ns) {
+		workers = len(ns)
+	}
+	if workers <= 1 {
+		out := make([]T, len(ns))
+		for i, n := range ns {
+			v, err := f(n)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, len(ns))
+	errs := make([]error, len(ns))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = f(ns[i])
+			}
+		}()
+	}
+	for i := range ns {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("bench: n=%d: %w", ns[i], err)
+		}
+	}
+	return out, nil
+}
+
+// ParallelTableT1 is TableT1 with the rows computed concurrently.
+func ParallelTableT1(ns []int, workers int) ([]T1Row, error) {
+	return parallelMap(ns, workers, func(n int) (T1Row, error) {
+		rows, err := TableT1([]int{n})
+		if err != nil {
+			return T1Row{}, err
+		}
+		return rows[0], nil
+	})
+}
+
+// ParallelTableT2 is TableT2 with the rows computed concurrently.
+func ParallelTableT2(ns []int, workers int) ([]T2Row, error) {
+	return parallelMap(ns, workers, func(n int) (T2Row, error) {
+		rows, err := TableT2([]int{n})
+		if err != nil {
+			return T2Row{}, err
+		}
+		return rows[0], nil
+	})
+}
+
+// ParallelTableF2 is TableF2 with the rows computed concurrently (the
+// failure sweeps dominate large-n experiment time).
+func ParallelTableF2(ns []int, doubleLimit, workers int) ([]F2Row, error) {
+	return parallelMap(ns, workers, func(n int) (F2Row, error) {
+		rows, err := TableF2([]int{n}, doubleLimit)
+		if err != nil {
+			return F2Row{}, err
+		}
+		return rows[0], nil
+	})
+}

@@ -1,0 +1,307 @@
+package construct
+
+import (
+	"sort"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// ExactOptions configures the branch-and-bound solver.
+type ExactOptions struct {
+	// Budget is the maximum number of cycles allowed. A search at Budget =
+	// ρ(n) is constructive; a completed search at ρ(n)−1 certifies the
+	// lower bound.
+	Budget int
+	// MaxLen caps cycle length; 0 means unbounded (needed for
+	// infeasibility proofs, since an optimal adversary may use any cycle
+	// length). The paper's constructions need only 3 and 4.
+	MaxLen int
+	// NodeLimit caps search nodes for determinism (no wall clocks); 0
+	// applies DefaultNodeLimit.
+	NodeLimit int64
+}
+
+// DefaultNodeLimit bounds exact searches that did not specify a limit.
+const DefaultNodeLimit = 40_000_000
+
+// ExactOutcome reports the result of an exact search.
+type ExactOutcome struct {
+	// Covering is a valid DRC-covering of K_n within Budget cycles, or nil
+	// if none was found.
+	Covering *cover.Covering
+	// Complete is true when the search space was exhausted, making a nil
+	// Covering a proof of infeasibility at this Budget (for the given
+	// MaxLen; with MaxLen 0 it is unconditional).
+	Complete bool
+	// Nodes is the number of candidate applications explored.
+	Nodes int64
+}
+
+// Exact searches for a DRC-covering of K_n over C_n with at most
+// opts.Budget cycles, by branch and bound:
+//
+//   - branch on the uncovered pair with the largest short-arc distance
+//     (diameters are the scarcest resource: no cycle covers two);
+//   - candidates covering pair {u,v} are the vertex sets {u,v} ∪ T with T
+//     a non-empty subset of the interior of one of the two arcs between u
+//     and v (the other arc's interior must be empty for {u,v} to be
+//     cyclically consecutive);
+//   - prune when cyclesLeft·n < Σ dist(uncovered) (the arc-length bound
+//     applied to the residual instance) or when cyclesLeft is below the
+//     number of uncovered diameters.
+func Exact(n int, opts ExactOptions) ExactOutcome {
+	r := ring.MustNew(n)
+	if opts.NodeLimit == 0 {
+		opts.NodeLimit = DefaultNodeLimit
+	}
+	s := &exactState{
+		r:       r,
+		n:       n,
+		opts:    opts,
+		covered: make([]bool, n*n),
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			s.remainingDist += r.Dist(u, v)
+			s.uncovered++
+			if r.IsDiameter(u, v) {
+				s.uncoveredDiams++
+			}
+		}
+	}
+	complete := s.search(0)
+	out := ExactOutcome{Complete: complete, Nodes: s.nodes}
+	if s.solution != nil {
+		cv := cover.NewCovering(r)
+		for _, verts := range s.solution {
+			cv.Add(cover.MustCycle(r, verts...))
+		}
+		cv.Canonicalize()
+		out.Covering = cv
+	}
+	return out
+}
+
+// ExactOptimal runs Exact at Budget = ρ(n) with the paper's cycle lengths
+// (MaxLen 4). Per Theorems 1–2 a covering always exists there; ok reports
+// whether the solver found it within the node limit.
+func ExactOptimal(n int, nodeLimit int64) (*cover.Covering, bool) {
+	out := Exact(n, ExactOptions{Budget: cover.Rho(n), MaxLen: 4, NodeLimit: nodeLimit})
+	return out.Covering, out.Covering != nil
+}
+
+type exactState struct {
+	r    ring.Ring
+	n    int
+	opts ExactOptions
+
+	covered        []bool // pair u*n+v (u<v) → covered
+	uncovered      int
+	remainingDist  int
+	uncoveredDiams int
+
+	chosen   [][]int
+	solution [][]int
+	nodes    int64
+}
+
+func (s *exactState) pairIdx(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*s.n + v
+}
+
+// search returns true if the subtree was explored completely (or a
+// solution was found); false only when the node limit interrupted it.
+func (s *exactState) search(depth int) bool {
+	if s.uncovered == 0 {
+		sol := make([][]int, len(s.chosen))
+		for i, c := range s.chosen {
+			sol[i] = append([]int(nil), c...)
+		}
+		s.solution = sol
+		return true
+	}
+	left := s.opts.Budget - depth
+	if left <= 0 ||
+		left*s.n < s.remainingDist ||
+		left < s.uncoveredDiams {
+		return true // pruned: subtree fully (vacuously) explored
+	}
+	// Slot bound: a cycle of length k covers exactly k pairs, so with a
+	// length cap each remaining cycle covers at most MaxLen new pairs.
+	if s.opts.MaxLen > 0 && left*s.opts.MaxLen < s.uncovered {
+		return true
+	}
+
+	u, v := s.pickBranchPair()
+	cands := s.candidates(u, v)
+	for _, cand := range cands {
+		if s.nodes >= s.opts.NodeLimit {
+			return false
+		}
+		s.nodes++
+		newly := s.apply(cand)
+		s.chosen = append(s.chosen, cand.verts)
+		done := s.search(depth + 1)
+		s.chosen = s.chosen[:len(s.chosen)-1]
+		s.undo(newly)
+		if s.solution != nil {
+			return true
+		}
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// pickBranchPair selects the uncovered pair with maximum short-arc
+// distance (ties: lexicographic), concentrating the search on diameters
+// and long chords first.
+func (s *exactState) pickBranchPair() (int, int) {
+	bestU, bestV, bestD := -1, -1, -1
+	for u := 0; u < s.n; u++ {
+		for v := u + 1; v < s.n; v++ {
+			if s.covered[u*s.n+v] {
+				continue
+			}
+			if d := s.r.Dist(u, v); d > bestD {
+				bestU, bestV, bestD = u, v, d
+			}
+		}
+	}
+	return bestU, bestV
+}
+
+type candidate struct {
+	verts []int // sorted ring order
+	pairs []int // pair indices covered
+	gain  int   // uncovered pairs this candidate would cover
+	dist  int   // total short-arc distance of newly covered pairs
+}
+
+// candidates enumerates the cycles in which u and v are cyclically
+// consecutive, as {u,v} plus a non-empty subset of one arc interior.
+func (s *exactState) candidates(u, v int) []candidate {
+	var out []candidate
+	sides := [2][]int{s.interior(u, v), s.interior(v, u)}
+	for _, side := range sides {
+		out = append(out, s.subsetsFrom(u, v, side)...)
+	}
+	// Most-constraining first: cover more uncovered pairs, then more
+	// distance, then lexicographic for determinism.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.gain != b.gain {
+			return a.gain > b.gain
+		}
+		if a.dist != b.dist {
+			return a.dist > b.dist
+		}
+		return lexLess(a.verts, b.verts)
+	})
+	return out
+}
+
+// interior lists the vertices strictly inside the clockwise arc a→b.
+func (s *exactState) interior(a, b int) []int {
+	g := s.r.Gap(a, b)
+	vs := make([]int, 0, g-1)
+	for i := 1; i < g; i++ {
+		vs = append(vs, s.r.Norm(a+i))
+	}
+	return vs
+}
+
+// subsetsFrom builds candidates {u, v} ∪ T for non-empty subsets T of
+// side, respecting MaxLen.
+func (s *exactState) subsetsFrom(u, v int, side []int) []candidate {
+	maxT := len(side)
+	if s.opts.MaxLen > 0 && s.opts.MaxLen-2 < maxT {
+		maxT = s.opts.MaxLen - 2
+	}
+	if maxT <= 0 {
+		return nil
+	}
+	var out []candidate
+	cur := make([]int, 0, maxT)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 {
+			out = append(out, s.makeCandidate(u, v, cur))
+		}
+		if len(cur) == maxT {
+			return
+		}
+		for i := start; i < len(side); i++ {
+			cur = append(cur, side[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func (s *exactState) makeCandidate(u, v int, extra []int) candidate {
+	verts := make([]int, 0, len(extra)+2)
+	verts = append(verts, u, v)
+	verts = append(verts, extra...)
+	ring.SortByRingOrder(verts)
+	c := candidate{verts: verts}
+	k := len(verts)
+	for i := 0; i < k; i++ {
+		a, b := verts[i], verts[(i+1)%k]
+		idx := s.pairIdx(a, b)
+		c.pairs = append(c.pairs, idx)
+		if !s.covered[idx] {
+			c.gain++
+			c.dist += s.r.Dist(a, b)
+		}
+	}
+	return c
+}
+
+// apply marks the candidate's pairs covered, returning the indices newly
+// covered for undo.
+func (s *exactState) apply(c candidate) []int {
+	var newly []int
+	for _, idx := range c.pairs {
+		if s.covered[idx] {
+			continue
+		}
+		s.covered[idx] = true
+		newly = append(newly, idx)
+		s.uncovered--
+		u, v := idx/s.n, idx%s.n
+		s.remainingDist -= s.r.Dist(u, v)
+		if s.r.IsDiameter(u, v) {
+			s.uncoveredDiams--
+		}
+	}
+	return newly
+}
+
+func (s *exactState) undo(newly []int) {
+	for _, idx := range newly {
+		s.covered[idx] = false
+		s.uncovered++
+		u, v := idx/s.n, idx%s.n
+		s.remainingDist += s.r.Dist(u, v)
+		if s.r.IsDiameter(u, v) {
+			s.uncoveredDiams++
+		}
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,144 @@
+package construct
+
+import (
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// Greedy constructs a valid DRC-covering of an arbitrary logical
+// multigraph over r, as a baseline and as the constructor for demand
+// patterns the closed-form machinery does not address (random instances,
+// sub-all-to-all demand). Strategy: repeatedly take the unserved request
+// with the largest short-arc distance, then grow a cycle around it —
+// first the third vertex, then optionally a fourth — choosing each added
+// vertex to maximise the number of additional unserved requests covered.
+//
+// The result is always valid (every request served at least its
+// multiplicity); nothing is claimed about optimality. EliminateRedundant
+// is applied before returning.
+func Greedy(r ring.Ring, demand *graph.Graph) *cover.Covering {
+	cv := cover.NewCovering(r)
+	// need[pair] = multiplicity still unserved.
+	need := make(map[graph.Edge]int)
+	for _, e := range demand.Edges() {
+		need[e] = demand.Multiplicity(e.U, e.V)
+	}
+
+	serve := func(c cover.Cycle) {
+		for _, pr := range c.Pairs() {
+			if need[pr] > 0 {
+				need[pr]--
+				if need[pr] == 0 {
+					delete(need, pr)
+				}
+			}
+		}
+		cv.Add(c)
+	}
+
+	for len(need) > 0 {
+		target := pickFarthest(r, need)
+		c := growCycle(r, target, need)
+		serve(c)
+	}
+	EliminateRedundant(cv, demand)
+	return cv
+}
+
+// pickFarthest returns the unserved pair with maximum short-arc distance,
+// ties broken lexicographically for determinism.
+func pickFarthest(r ring.Ring, need map[graph.Edge]int) graph.Edge {
+	var best graph.Edge
+	bestD := -1
+	for e := range need {
+		d := r.Dist(e.U, e.V)
+		if d > bestD || (d == bestD && (e.U < best.U || (e.U == best.U && e.V < best.V))) {
+			best, bestD = e, d
+		}
+	}
+	return best
+}
+
+// growCycle builds a cycle covering target, greedily adding up to two more
+// vertices that maximise coverage of unserved requests.
+func growCycle(r ring.Ring, target graph.Edge, need map[graph.Edge]int) cover.Cycle {
+	verts := []int{target.U, target.V}
+	// target must stay cyclically consecutive: each added vertex must keep
+	// at least one arc between U and V empty. Track which side we are
+	// filling: the first added vertex fixes the side.
+	side := -1 // -1 undecided; 0 = interior(U→V); 1 = interior(V→U)
+	for added := 0; added < 2; added++ {
+		bestV, bestGain, bestSide := -1, 0, side
+		for v := 0; v < r.N(); v++ {
+			if v == target.U || v == target.V || contains(verts, v) {
+				continue
+			}
+			vSide := 1
+			if r.ArcBetween(target.U, target.V).ContainsVertex(r, v) {
+				vSide = 0
+			}
+			if side != -1 && vSide != side {
+				continue
+			}
+			gain := coverageGain(r, verts, v, need)
+			if gain > bestGain || (gain == bestGain && gain > 0 && v < bestV) {
+				bestV, bestGain, bestSide = v, gain, vSide
+			}
+		}
+		if bestV == -1 || bestGain == 0 {
+			break
+		}
+		verts = append(verts, bestV)
+		side = bestSide
+	}
+	if len(verts) == 2 {
+		// No helpful third vertex: pick the lowest vertex that keeps the
+		// target pair consecutive (any vertex works — it lands in one of
+		// the two arcs and leaves the other empty).
+		for v := 0; v < r.N(); v++ {
+			if v != target.U && v != target.V {
+				verts = append(verts, v)
+				break
+			}
+		}
+	}
+	return cover.MustCycle(r, verts...)
+}
+
+// coverageGain counts how many unserved requests the cycle verts ∪ {v}
+// covers beyond those covered by verts alone.
+func coverageGain(r ring.Ring, verts []int, v int, need map[graph.Edge]int) int {
+	withV := append(append([]int(nil), verts...), v)
+	if len(withV) < 3 {
+		// A 2-set has no pairs; count the would-be triangle's coverage
+		// directly once it reaches size 3.
+		return 0
+	}
+	before := 0
+	if len(verts) >= 3 {
+		cOld := cover.MustCycle(r, verts...)
+		for _, pr := range cOld.Pairs() {
+			if need[pr] > 0 {
+				before++
+			}
+		}
+	}
+	cNew := cover.MustCycle(r, withV...)
+	after := 0
+	for _, pr := range cNew.Pairs() {
+		if need[pr] > 0 {
+			after++
+		}
+	}
+	return after - before
+}
+
+func contains(vs []int, v int) bool {
+	for _, w := range vs {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}

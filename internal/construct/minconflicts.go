@@ -1,0 +1,502 @@
+package construct
+
+import (
+	"math/rand"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// This file implements the fixed-budget repair search used by Even to hit
+// ρ(n) exactly. Two formulations share the engine:
+//
+//   - full: the whole all-to-all instance is the universe (used for small
+//     n, where the space is small enough to converge quickly);
+//   - boundary: the interior gap-class families {v, v+j, v+p, v+p+j}
+//     (2 < j < p/2, plus the class-p/2 half family) are provably perfect
+//     coverings of their classes, so they are fixed, and the search runs
+//     only over the residual universe — classes 1, 2, p−2, p−1 and the
+//     diameters — with candidate cycles whose every arc stays inside those
+//     classes. This shrinks the universe from Θ(n²) to Θ(n) pairs and
+//     makes the search scale to the full experiment sweep.
+//
+// Every produced covering is re-verified by the caller; a non-converged
+// search returns ok = false and never an invalid result.
+
+// mcProblem describes one repair-search instance.
+type mcProblem struct {
+	r      ring.Ring
+	budget int     // fixed number of cycles
+	seed   [][]int // initial cycles; trimmed to budget from the end, padded with random triangles
+	// allowed[d] reports whether pairs at ring distance d are part of the
+	// universe (and permitted inside candidate cycles); nil = everything.
+	allowed []bool
+	iters   int
+	rngSeed int64
+}
+
+const mcWalkProb = 0.08
+
+// runMC runs min-conflicts repair and returns the cycle vertex sets on
+// success (universe fully covered).
+func runMC(p mcProblem) ([][]int, bool) {
+	st := newMCState(p)
+	if st == nil {
+		return nil, false
+	}
+	for iter := 0; iter < p.iters && st.numUncovered > 0; iter++ {
+		st.step()
+	}
+	if st.numUncovered > 0 {
+		return nil, false
+	}
+	out := make([][]int, len(st.cycles))
+	for i, c := range st.cycles {
+		out[i] = append([]int(nil), c.verts...)
+	}
+	return out, true
+}
+
+type mcCycle struct {
+	verts []int
+	pairs []int
+}
+
+type mcState struct {
+	r   ring.Ring
+	n   int
+	rng *rand.Rand
+
+	allowed  []bool
+	gapOK    []int // allowed clockwise gaps (both orientations of allowed dists)
+	cycles   []mcCycle
+	coverage []int
+
+	uncovered    []int
+	uncoveredPos []int
+	numUncovered int
+
+	cands []mcCandidate // scratch
+}
+
+func newMCState(p mcProblem) *mcState {
+	n := p.r.N()
+	st := &mcState{
+		r:            p.r,
+		n:            n,
+		rng:          rand.New(rand.NewSource(p.rngSeed)),
+		allowed:      p.allowed,
+		coverage:     make([]int, n*n),
+		uncoveredPos: make([]int, n*n),
+	}
+	for i := range st.uncoveredPos {
+		st.uncoveredPos[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if st.inUniverse(u, v) {
+				st.markUncovered(u*n + v)
+			}
+		}
+	}
+	for g := 1; g < n; g++ {
+		if st.distAllowed(min(g, n-g)) {
+			st.gapOK = append(st.gapOK, g)
+		}
+	}
+	for i := 0; i < p.budget; i++ {
+		if i < len(p.seed) {
+			st.addCycle(p.seed[i])
+			continue
+		}
+		st.addCycle(st.randomCycle())
+	}
+	return st
+}
+
+func (st *mcState) distAllowed(d int) bool {
+	if st.allowed == nil {
+		return true
+	}
+	return d < len(st.allowed) && st.allowed[d]
+}
+
+func (st *mcState) inUniverse(u, v int) bool {
+	return st.distAllowed(st.r.Dist(u, v))
+}
+
+// randomCycle pads the seed: a random allowed triangle if the class
+// restriction permits one, otherwise a random triangle.
+func (st *mcState) randomCycle() []int {
+	for attempt := 0; attempt < 64; attempt++ {
+		u := st.rng.Intn(st.n)
+		g1 := st.gapOK[st.rng.Intn(len(st.gapOK))]
+		g2 := st.gapOK[st.rng.Intn(len(st.gapOK))]
+		if g1+g2 >= st.n {
+			continue
+		}
+		rest := st.n - g1 - g2
+		if !st.distAllowed(min(rest, st.n-rest)) {
+			continue
+		}
+		vs := []int{u, st.r.Norm(u + g1), st.r.Norm(u + g1 + g2)}
+		ring.SortByRingOrder(vs)
+		return vs
+	}
+	perm := st.rng.Perm(st.n)
+	vs := []int{perm[0], perm[1], perm[2]}
+	ring.SortByRingOrder(vs)
+	return vs
+}
+
+func (st *mcState) pairIdx(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*st.n + v
+}
+
+func (st *mcState) markUncovered(idx int) {
+	if st.uncoveredPos[idx] != -1 {
+		return
+	}
+	st.uncoveredPos[idx] = len(st.uncovered)
+	st.uncovered = append(st.uncovered, idx)
+	st.numUncovered++
+}
+
+func (st *mcState) markCovered(idx int) {
+	pos := st.uncoveredPos[idx]
+	if pos == -1 {
+		return
+	}
+	last := len(st.uncovered) - 1
+	moved := st.uncovered[last]
+	st.uncovered[pos] = moved
+	st.uncoveredPos[moved] = pos
+	st.uncovered = st.uncovered[:last]
+	st.uncoveredPos[idx] = -1
+	st.numUncovered--
+}
+
+func (st *mcState) cyclePairs(verts []int) []int {
+	k := len(verts)
+	ps := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		ps = append(ps, st.pairIdx(verts[i], verts[(i+1)%k]))
+	}
+	return ps
+}
+
+func (st *mcState) addCycle(verts []int) {
+	vs := make([]int, len(verts))
+	for i, v := range verts {
+		vs[i] = st.r.Norm(v)
+	}
+	ring.SortByRingOrder(vs)
+	c := mcCycle{verts: vs, pairs: st.cyclePairs(vs)}
+	for _, p := range c.pairs {
+		st.cover(p)
+	}
+	st.cycles = append(st.cycles, c)
+}
+
+func (st *mcState) cover(p int) {
+	st.coverage[p]++
+	// Pairs outside the universe carry coverage counts too (harmless);
+	// only universe pairs are in the uncovered set.
+	st.markCovered(p)
+}
+
+func (st *mcState) uncover(p int) {
+	st.coverage[p]--
+	if st.coverage[p] == 0 {
+		u, v := p/st.n, p%st.n
+		if st.inUniverse(u, v) {
+			st.markUncovered(p)
+		}
+	}
+}
+
+func (st *mcState) detach(i int) {
+	for _, p := range st.cycles[i].pairs {
+		st.uncover(p)
+	}
+}
+
+func (st *mcState) attach(i int, verts []int) {
+	vs := make([]int, len(verts))
+	for k, v := range verts {
+		vs[k] = st.r.Norm(v)
+	}
+	ring.SortByRingOrder(vs)
+	c := mcCycle{verts: vs, pairs: st.cyclePairs(vs)}
+	for _, p := range c.pairs {
+		st.cover(p)
+	}
+	st.cycles[i] = c
+}
+
+func (st *mcState) loss(i int) int {
+	l := 0
+	for _, p := range st.cycles[i].pairs {
+		if st.coverage[p] == 1 {
+			u, v := p/st.n, p%st.n
+			if st.inUniverse(u, v) {
+				l++
+			}
+		}
+	}
+	return l
+}
+
+func (st *mcState) gain(pairs []int) int {
+	g := 0
+	for _, p := range pairs {
+		if st.coverage[p] == 0 {
+			u, v := p/st.n, p%st.n
+			if st.inUniverse(u, v) {
+				g++
+			}
+		}
+	}
+	return g
+}
+
+func (st *mcState) step() {
+	idx := st.uncovered[st.rng.Intn(st.numUncovered)]
+	u, v := idx/st.n, idx%st.n
+
+	st.buildCandidates(u, v)
+	if len(st.cands) == 0 {
+		return
+	}
+	victims := st.pickVictims()
+
+	bestV, bestC, bestDelta := -1, -1, 1<<30
+	base := st.numUncovered
+	for _, vi := range victims {
+		st.detach(vi)
+		lossVi := st.numUncovered - base
+		for ci := range st.cands {
+			delta := lossVi - st.gain(st.cands[ci].pairs)
+			if delta < bestDelta || (delta == bestDelta && st.rng.Intn(2) == 0) {
+				bestV, bestC, bestDelta = vi, ci, delta
+			}
+		}
+		st.attach(vi, st.cycles[vi].verts)
+	}
+	if bestV == -1 {
+		return
+	}
+	st.detach(bestV)
+	st.attach(bestV, st.cands[bestC].verts)
+}
+
+type mcCandidate struct {
+	verts []int
+	pairs []int
+}
+
+// buildCandidates fills st.cands with cycles in which u and v are
+// cyclically consecutive and every arc distance is allowed. Cycles are
+// built as gap walks b → … → a around the arc complementary to the empty
+// one, with one or two intermediate vertices and each step an allowed
+// gap; this keeps enumeration O(|gapOK|²) regardless of n.
+func (st *mcState) buildCandidates(u, v int) {
+	st.cands = st.cands[:0]
+	scratch := make([]int, 0, 4)
+	for _, dir := range [2][2]int{{u, v}, {v, u}} {
+		a, b := dir[0], dir[1]
+		// Arc a→b empty; intermediates walk clockwise from b back to a.
+		l := st.r.Gap(b, a)
+		for _, g1 := range st.gapOK {
+			if g1 >= l {
+				break // gapOK ascending
+			}
+			w1 := st.r.Norm(b + g1)
+			// Triangle {a, b, w1}: closing gap l−g1 must be allowed.
+			if rest := l - g1; st.distAllowed(min(rest, st.n-rest)) {
+				scratch = append(scratch[:0], a, b, w1)
+				st.pushCandidate(scratch)
+			}
+			for _, g2 := range st.gapOK {
+				if g1+g2 >= l {
+					break
+				}
+				rest := l - g1 - g2
+				if !st.distAllowed(min(rest, st.n-rest)) {
+					continue
+				}
+				w2 := st.r.Norm(b + g1 + g2)
+				scratch = append(scratch[:0], a, b, w1, w2)
+				st.pushCandidate(scratch)
+			}
+		}
+	}
+}
+
+func (st *mcState) pushCandidate(verts []int) {
+	vs := append([]int(nil), verts...)
+	ring.SortByRingOrder(vs)
+	st.cands = append(st.cands, mcCandidate{verts: vs, pairs: st.cyclePairs(vs)})
+}
+
+func (st *mcState) pickVictims() []int {
+	// Endgame: with only a few pairs left, the winning swap may involve a
+	// mid-loss cycle that the lowest-loss shortcut never offers. Scan
+	// everything occasionally — doing it every step would dominate the
+	// run, since the search spends most of its time near the end.
+	if st.numUncovered <= 4 && st.rng.Intn(16) == 0 {
+		all := make([]int, len(st.cycles))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if st.rng.Float64() < mcWalkProb {
+		return []int{st.rng.Intn(len(st.cycles))}
+	}
+	best1, best2 := -1, -1
+	loss1, loss2 := 1<<30, 1<<30
+	scan := len(st.cycles)
+	offset := 0
+	const window = 700
+	if scan > window {
+		scan = window
+		offset = st.rng.Intn(len(st.cycles))
+	}
+	for k := 0; k < scan; k++ {
+		i := (offset + k) % len(st.cycles)
+		l := st.loss(i)
+		switch {
+		case l < loss1:
+			best2, loss2 = best1, loss1
+			best1, loss1 = i, l
+		case l < loss2:
+			best2, loss2 = i, l
+		}
+	}
+	if best2 == -1 {
+		return []int{best1}
+	}
+	return []int{best1, best2}
+}
+
+// ---------------------------------------------------------------------
+// Problem builders.
+
+// fullEvenMC searches the whole instance (small even n).
+func fullEvenMC(n int) (*cover.Covering, bool) {
+	r := ring.MustNew(n)
+	seed := layeredEven(n)
+	var sv [][]int
+	for _, c := range seed.Cycles {
+		sv = append(sv, c.Vertices())
+	}
+	cycles, ok := runMC(mcProblem{
+		r:       r,
+		budget:  cover.Rho(n),
+		seed:    sv,
+		iters:   120_000 + 1_500*n,
+		rngSeed: int64(n),
+	})
+	if !ok {
+		return nil, false
+	}
+	return cyclesToCovering(r, cycles), true
+}
+
+// boundaryEvenMC fixes the interior families and searches only the
+// boundary classes. width selects the residual class set: width 2 ⇒
+// {1, 2, p−2, p−1, p}; width 3 adds {3, p−3}.
+func boundaryEvenMC(n, width int) (*cover.Covering, bool) {
+	p := n / 2
+	if width >= p-width {
+		return nil, false // class sets would overlap; full search handles these n
+	}
+	r := ring.MustNew(n)
+
+	fixed := cover.NewCovering(r)
+	var seed [][]int
+	// Interior families j ∈ (width, p/2): fixed. Classes j ≤ width and
+	// their mirrors are the search universe; their layered cycles become
+	// the seed.
+	for j := 2; 2*j < p; j++ {
+		if j > width {
+			for v := 0; v < p; v++ {
+				fixed.Add(cover.MustCycle(r, v, v+j, v+p, v+p+j))
+			}
+		}
+	}
+	if p%2 == 0 && p >= 4 {
+		h := p / 2
+		if h > width {
+			for v := 0; v < h; v++ {
+				fixed.Add(cover.MustCycle(r, v, v+h, v+2*h, v+3*h))
+			}
+		}
+	}
+	// Seed: boundary triangles, then family quads for the in-universe
+	// interior classes, then the boundary quads (trimmed first, as they
+	// carry the least unique coverage).
+	for v := 0; v < p; v++ {
+		seed = append(seed, []int{v, v + 1, v + p})
+	}
+	for j := 2; j <= width && 2*j < p; j++ {
+		for v := 0; v < p; v++ {
+			seed = append(seed, []int{v, v + j, v + p, v + p + j})
+		}
+	}
+	for u := p; u < 2*p; u++ {
+		seed = append(seed, []int{u, st4(u + 1), u + p, u + p + 1})
+	}
+
+	budget := cover.Rho(n) - fixed.Size()
+	if budget < 1 {
+		return nil, false
+	}
+	allowed := make([]bool, p+1)
+	for d := 1; d <= width; d++ {
+		allowed[d] = true
+		allowed[p-d] = true
+	}
+	allowed[p] = true
+
+	// Multiple restarts with distinct seeds: the endgame is stochastic and
+	// restarts are far cheaper than longer single runs.
+	var cycles [][]int
+	ok := false
+	for attempt := 0; attempt < 6 && !ok; attempt++ {
+		cycles, ok = runMC(mcProblem{
+			r:       r,
+			budget:  budget,
+			seed:    seed,
+			allowed: allowed,
+			iters:   120_000 + 4_000*p,
+			rngSeed: int64(1000*n + width + 7777*attempt),
+		})
+	}
+	if !ok {
+		return nil, false
+	}
+	out := fixed
+	for _, verts := range cycles {
+		out.Add(cover.MustCycle(r, verts...))
+	}
+	out.Canonicalize()
+	return out, true
+}
+
+// st4 is a no-op that keeps the seed literals symmetric with the other
+// builders (vertex labels are normalised by MustCycle/addCycle anyway).
+func st4(v int) int { return v }
+
+func cyclesToCovering(r ring.Ring, cycles [][]int) *cover.Covering {
+	cv := cover.NewCovering(r)
+	for _, verts := range cycles {
+		cv.Add(cover.MustCycle(r, verts...))
+	}
+	cv.Canonicalize()
+	return cv
+}

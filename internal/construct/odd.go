@@ -1,0 +1,79 @@
+package construct
+
+import (
+	"fmt"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// Odd builds the optimal DRC-covering of K_n over C_n for odd n = 2p+1,
+// reproducing Theorem 1: exactly p(p+1)/2 cycles, of which p are C3 and
+// p(p−1)/2 are C4, every pair covered exactly once along a short arc.
+//
+// The construction is the reconstructed induction of DESIGN.md (Fact C).
+// Step p−1 → p inserts two fresh vertices x and y into opposite arcs of
+// the ring. Because a DRC cycle is just a vertex set traversed in ring
+// order, inserting vertices changes no existing cycle and no covered pair.
+// The 4p−1 new pairs (x and y to everything, plus {x,y}) are covered
+// exactly once by
+//
+//	p−1 quads {x, uᵢ, y, vᵢ}  (uᵢ on the arc left of x, vᵢ right of y)
+//	1 triangle {x, y, w}      (w the leftover vertex)
+//
+// since each quad's ring order interleaves x and y with one old vertex on
+// each side, making all four of its consecutive pairs new edges.
+//
+// Odd panics if n is even or n < 3; use AllToAll for a checked entry
+// point.
+func Odd(n int) *cover.Covering {
+	if n < 3 || n%2 == 0 {
+		panic(fmt.Sprintf("construct: Odd requires odd n >= 3, got %d", n))
+	}
+	// Work with abstract vertex ids; ringOrder lists ids in ring order.
+	// Final labels are assigned by ring position at the end.
+	next := 3
+	ringOrder := []int{0, 1, 2}
+	cycles := [][]int{{0, 1, 2}} // base case: K_3 covered by one triangle
+
+	for m := 3; m < n; m += 2 {
+		x, y := next, next+1
+		next += 2
+		// Split the current ring into A = ringOrder[:a] (the smaller side)
+		// and B = ringOrder[a:] (one larger), and insert x before B, y
+		// after B. New ring order: A, x, B, y.
+		a := (m - 1) / 2
+		sideA := ringOrder[:a:a]
+		sideB := ringOrder[a:]
+
+		// Quads pair one A-side vertex with one B-side vertex. |B| =
+		// |A|+1, so B's last vertex is left over for the triangle.
+		for i := 0; i < len(sideA); i++ {
+			cycles = append(cycles, []int{x, sideA[i], y, sideB[i]})
+		}
+		cycles = append(cycles, []int{x, y, sideB[len(sideB)-1]})
+
+		merged := make([]int, 0, m+2)
+		merged = append(merged, sideA...)
+		merged = append(merged, x)
+		merged = append(merged, sideB...)
+		merged = append(merged, y)
+		ringOrder = merged
+	}
+
+	// Relabel: vertex at ring position i gets label i.
+	pos := make([]int, n)
+	for i, id := range ringOrder {
+		pos[id] = i
+	}
+	r := ring.MustNew(n)
+	cv := cover.NewCovering(r)
+	for _, c := range cycles {
+		labels := make([]int, len(c))
+		for i, id := range c {
+			labels[i] = pos[id]
+		}
+		cv.Add(cover.MustCycle(r, labels...))
+	}
+	return cv
+}

@@ -1,0 +1,79 @@
+package construct
+
+import (
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
+)
+
+// EliminateRedundant removes cycles that are unnecessary for covering the
+// demand: a cycle is redundant when every pair it covers retains coverage
+// at or above its demanded multiplicity after removal. Cycles are scanned
+// repeatedly (largest first, so cheap small cycles survive when either
+// could go) until a fixpoint; the covering is modified in place and the
+// number of removed cycles returned.
+//
+// The optimal constructions contain no redundant cycles (each covers at
+// least one pair uniquely), so this is a no-op there; it matters for
+// greedy output and for experiment ablations.
+func EliminateRedundant(cv *cover.Covering, demand *graph.Graph) int {
+	needFor := func(e graph.Edge) int {
+		if e.U >= demand.N() || e.V >= demand.N() {
+			return 0
+		}
+		return demand.Multiplicity(e.U, e.V)
+	}
+
+	counts := cv.CoverageCounts()
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		// Prefer removing longer cycles: they free more slots.
+		bestIdx, bestLen := -1, 0
+		for i, c := range cv.Cycles {
+			ok := true
+			for _, pr := range c.Pairs() {
+				if counts[pr]-1 < needFor(pr) {
+					ok = false
+					break
+				}
+			}
+			if ok && c.Len() > bestLen {
+				bestIdx, bestLen = i, c.Len()
+			}
+		}
+		if bestIdx >= 0 {
+			for _, pr := range cv.Cycles[bestIdx].Pairs() {
+				counts[pr]--
+			}
+			cv.Cycles = append(cv.Cycles[:bestIdx], cv.Cycles[bestIdx+1:]...)
+			removed++
+			changed = true
+		}
+	}
+	return removed
+}
+
+// Lambda builds a DRC-covering of λK_n (every pair demanded λ times, the
+// paper's first listed extension) by stacking λ copies of the all-to-all
+// covering: coverage multiplicity scales with λ, so validity is immediate,
+// and the size is λ·|AllToAll(n)| — within λ·(achieved−ρ(n)) + (λ−1)·slack
+// of the generalised arc-length bound reported by
+// cover.InstanceLowerBound.
+func Lambda(n, lambda int) (Result, error) {
+	if lambda < 1 {
+		return Result{}, errLambda(lambda)
+	}
+	base, err := AllToAll(n)
+	if err != nil {
+		return Result{}, err
+	}
+	cv := cover.NewCovering(base.Covering.Ring)
+	for i := 0; i < lambda; i++ {
+		cv.Add(base.Covering.Cycles...)
+	}
+	return Result{Covering: cv, Method: base.Method, Optimal: base.Optimal && lambda == 1}, nil
+}
+
+type errLambda int
+
+func (e errLambda) Error() string { return "construct: lambda must be >= 1" }

@@ -1,0 +1,87 @@
+package cover
+
+import (
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// SumShortGaps returns Σ_{u<v} dist(u,v) over all pairs of C_n: the total
+// arc-length demand of the all-to-all instance when every pair is served
+// along a shortest arc.
+//
+// For n = 2p+1 each gap class d = 1..p contributes n·d, giving n·p(p+1)/2.
+// For n = 2p classes d = 1..p−1 contribute 2p·d and the p diameters
+// contribute p·p, giving p³.
+func SumShortGaps(n int) int {
+	if n%2 == 1 {
+		p := (n - 1) / 2
+		return n * p * (p + 1) / 2
+	}
+	p := n / 2
+	return p * p * p
+}
+
+// ArcLengthLowerBound returns the counting bound
+//
+//	ρ(n) ≥ ⌈ SumShortGaps(n) / n ⌉ ,
+//
+// which follows from the DRC structure theorem (package comment in
+// cycle.go): every cycle's routing arcs partition the ring, so each cycle
+// supplies exactly n arc units, while covering pair {u,v} costs at least
+// dist(u,v) units whichever cycle covers it and whichever of its two arcs
+// is used. For odd n this equals Theorem 1's value; equality forces every
+// pair to be covered exactly once along a short arc (a partition).
+func ArcLengthLowerBound(n int) int {
+	return ceilDiv(SumShortGaps(n), n)
+}
+
+// LowerBound returns the best lower bound on ρ(n) implemented here:
+// ArcLengthLowerBound, sharpened by +1 when n = 2p with p even.
+//
+// The +1 refinement: ArcLengthLowerBound(2p) = p²/2 when p is even, and a
+// covering meeting it would be a partition of E(K_2p) in which every pair
+// uses a short arc. In such a partition each of the p diameters is covered
+// by a distinct cycle (two diameters can never be cyclically consecutive
+// pairs of the same vertex set — their endpoints interleave around the
+// ring), and each such cycle spends exactly p arc units on its diameter
+// and p on the rest, so every remaining gap class d must be partitioned
+// into runs of total length exactly matching an antipodally balanced
+// layout. The gap-1 class obstructs this: the p cycles carrying the
+// diameters cover exactly one of each antipodal position pair of class 1,
+// and the C4 shapes that can finish classes {1, p−1} without touching
+// other classes (gap patterns 1,1,p−1,p−1 and 1,p−1,1,p−1) each need
+// either an antipodal position pair (unavailable by the above) or create a
+// duplicate slot (contradicting a partition). Hence no covering of size
+// p²/2 exists, matching Theorem 2. The package's exhaustive solver
+// verifies this computationally for n = 8 and n = 12
+// (TestEvenPlusOneRefinement in bound_test.go).
+func LowerBound(n int) int {
+	lb := ArcLengthLowerBound(n)
+	if n%2 == 0 && (n/2)%2 == 0 {
+		lb++
+	}
+	return lb
+}
+
+// InstanceLowerBound generalises the arc-length bound to an arbitrary
+// logical multigraph I on the vertices of r:
+//
+//	ρ(I) ≥ ⌈ Σ_{e ∈ E(I)} dist(e) / n ⌉  (multiplicity counted)
+//
+// It also applies the trivial bound ρ ≥ 1 when I has at least one edge.
+func InstanceLowerBound(r ring.Ring, demand *graph.Graph) int {
+	total := 0
+	for _, e := range demand.Edges() {
+		total += r.Dist(e.U, e.V) * demand.Multiplicity(e.U, e.V)
+	}
+	if total == 0 {
+		return 0
+	}
+	lb := ceilDiv(total, r.N())
+	if lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

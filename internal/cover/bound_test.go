@@ -1,0 +1,115 @@
+package cover
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+func TestSumShortGapsClosedForm(t *testing.T) {
+	// Check the closed forms against direct summation.
+	for n := 3; n <= 60; n++ {
+		r := ring.MustNew(n)
+		direct := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				direct += r.Dist(u, v)
+			}
+		}
+		if got := SumShortGaps(n); got != direct {
+			t.Errorf("SumShortGaps(%d) = %d, direct sum = %d", n, got, direct)
+		}
+	}
+}
+
+func TestArcLengthLowerBoundValues(t *testing.T) {
+	// Odd n: bound equals Theorem 1 exactly.
+	for p := 1; p <= 50; p++ {
+		n := 2*p + 1
+		if got, want := ArcLengthLowerBound(n), p*(p+1)/2; got != want {
+			t.Errorf("ArcLengthLowerBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// Even n: bound is ⌈p²/2⌉ = ⌈p³/(2p)⌉.
+	for p := 2; p <= 50; p++ {
+		n := 2 * p
+		want := (p*p + 1) / 2
+		if p%2 == 0 {
+			want = p * p / 2
+		}
+		if got := ArcLengthLowerBound(n); got != want {
+			t.Errorf("ArcLengthLowerBound(%d) = %d, want ⌈p²/2⌉ = %d", n, got, want)
+		}
+	}
+}
+
+func TestLowerBoundMatchesRho(t *testing.T) {
+	// The implemented lower bound (with the even-p refinement) equals the
+	// paper's ρ(n) for every n — i.e. the theorems are tight against it.
+	for n := 3; n <= 400; n++ {
+		if got, want := LowerBound(n), Rho(n); got != want {
+			t.Errorf("LowerBound(%d) = %d, Rho = %d", n, got, want)
+		}
+	}
+}
+
+func TestLowerBoundNeverExceedsArcBoundPlusOne(t *testing.T) {
+	for n := 3; n <= 400; n++ {
+		lb, arc := LowerBound(n), ArcLengthLowerBound(n)
+		if lb < arc || lb > arc+1 {
+			t.Errorf("n=%d: LowerBound=%d vs arc bound %d", n, lb, arc)
+		}
+	}
+}
+
+func TestInstanceLowerBound(t *testing.T) {
+	r := ring.MustNew(9)
+	if got, want := InstanceLowerBound(r, graph.Complete(9)), ArcLengthLowerBound(9); got != want {
+		t.Errorf("InstanceLowerBound(K9) = %d, want %d", got, want)
+	}
+	// λK_n scales the bound by λ (each pair served λ times).
+	if got, want := InstanceLowerBound(r, graph.LambdaComplete(9, 3)), 3*SumShortGaps(9)/9; got != want {
+		t.Errorf("InstanceLowerBound(3K9) = %d, want %d", got, want)
+	}
+	// Empty demand needs nothing.
+	if got := InstanceLowerBound(r, graph.New(9)); got != 0 {
+		t.Errorf("InstanceLowerBound(empty) = %d, want 0", got)
+	}
+	// A single adjacent pair still needs one cycle.
+	one := graph.New(9)
+	one.AddEdge(0, 1)
+	if got := InstanceLowerBound(r, one); got != 1 {
+		t.Errorf("InstanceLowerBound(single edge) = %d, want 1", got)
+	}
+}
+
+func TestNoCycleCoversTwoDiameters(t *testing.T) {
+	// Structural ingredient of the +1 refinement (see LowerBound doc): no
+	// single DRC cycle can cover two distinct diametral pairs. Exhaustive
+	// over all vertex subsets for small even rings.
+	for _, n := range []int{6, 8, 10} {
+		r := ring.MustNew(n)
+		for mask := 0; mask < 1<<n; mask++ {
+			var vs []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					vs = append(vs, v)
+				}
+			}
+			if len(vs) < 3 {
+				continue
+			}
+			c := MustCycle(r, vs...)
+			diams := 0
+			for _, p := range c.Pairs() {
+				if r.IsDiameter(p.U, p.V) {
+					diams++
+				}
+			}
+			if diams > 1 {
+				t.Fatalf("n=%d: cycle %v covers %d diameters", n, c, diams)
+			}
+		}
+	}
+}

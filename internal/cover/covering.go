@@ -1,0 +1,198 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// Covering is a family of DRC cycles over one ring, intended to cover a
+// logical graph. Cycles may overlap: the paper's objects are coverings,
+// not decompositions (though optimal odd-n coverings happen to be
+// partitions).
+type Covering struct {
+	Ring   ring.Ring
+	Cycles []Cycle
+}
+
+// NewCovering returns an empty covering over r.
+func NewCovering(r ring.Ring) *Covering {
+	return &Covering{Ring: r}
+}
+
+// Add appends cycles to the covering.
+func (cv *Covering) Add(cs ...Cycle) { cv.Cycles = append(cv.Cycles, cs...) }
+
+// Size returns the number of cycles — the paper's objective function.
+func (cv *Covering) Size() int { return len(cv.Cycles) }
+
+// TotalVertices returns the sum of cycle lengths — the objective of
+// Eilam–Moran–Zaks [3] / Gerstel–Lin–Sasaki [4], reported for comparison
+// experiments.
+func (cv *Covering) TotalVertices() int {
+	t := 0
+	for _, c := range cv.Cycles {
+		t += c.Len()
+	}
+	return t
+}
+
+// Slots returns the total number of covered pair-slots (with
+// multiplicity); equal to TotalVertices since a cycle of length k covers k
+// pairs.
+func (cv *Covering) Slots() int { return cv.TotalVertices() }
+
+// Composition returns how many cycles of each length the covering uses,
+// e.g. {3: p, 4: p(p-1)/2} for the Theorem 1 construction.
+func (cv *Covering) Composition() map[int]int {
+	comp := make(map[int]int)
+	for _, c := range cv.Cycles {
+		comp[c.Len()]++
+	}
+	return comp
+}
+
+// NumTriangles returns the number of C3 cycles.
+func (cv *Covering) NumTriangles() int { return cv.Composition()[3] }
+
+// NumQuads returns the number of C4 cycles.
+func (cv *Covering) NumQuads() int { return cv.Composition()[4] }
+
+// CoverageCounts returns, for each pair covered at least once, how many
+// cycle slots cover it.
+func (cv *Covering) CoverageCounts() map[graph.Edge]int {
+	counts := make(map[graph.Edge]int)
+	for _, c := range cv.Cycles {
+		for _, p := range c.Pairs() {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
+// DuplicateSlots returns the number of slots in excess of one per distinct
+// covered pair — the covering's slack. Optimal odd-n coverings have zero
+// slack; the paper's even-n coverings have positive slack.
+func (cv *Covering) DuplicateSlots() int {
+	d := 0
+	for _, k := range cv.CoverageCounts() {
+		d += k - 1
+	}
+	return d
+}
+
+// Covers checks that every edge of the demand graph is covered by at least
+// its multiplicity (so a covering of λK_n serves each pair λ times). It
+// returns a descriptive error naming the first failure in deterministic
+// order, or nil.
+func (cv *Covering) Covers(demand *graph.Graph) error {
+	if demand.N() > cv.Ring.N() {
+		return fmt.Errorf("cover: demand graph on %d vertices exceeds ring size %d", demand.N(), cv.Ring.N())
+	}
+	counts := cv.CoverageCounts()
+	for _, e := range demand.Edges() {
+		need := demand.Multiplicity(e.U, e.V)
+		if counts[e] < need {
+			return fmt.Errorf("cover: pair %v covered %d times, need %d", e, counts[e], need)
+		}
+	}
+	return nil
+}
+
+// Uncovered returns the demand edges (distinct pairs) whose coverage is
+// below their multiplicity, in deterministic order, together with the
+// shortfall.
+func (cv *Covering) Uncovered(demand *graph.Graph) []graph.Edge {
+	counts := cv.CoverageCounts()
+	var missing []graph.Edge
+	for _, e := range demand.Edges() {
+		if counts[e] < demand.Multiplicity(e.U, e.V) {
+			missing = append(missing, e)
+		}
+	}
+	return missing
+}
+
+// Clone returns a deep-enough copy (cycles are immutable values).
+func (cv *Covering) Clone() *Covering {
+	out := NewCovering(cv.Ring)
+	out.Cycles = append([]Cycle(nil), cv.Cycles...)
+	return out
+}
+
+// Dedup removes cycles with identical vertex sets, keeping first
+// occurrences and preserving order.
+func (cv *Covering) Dedup() {
+	seen := make(map[string]bool, len(cv.Cycles))
+	kept := cv.Cycles[:0]
+	for _, c := range cv.Cycles {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, c)
+		}
+	}
+	cv.Cycles = kept
+}
+
+// Canonicalize sorts cycles by length then lexicographic vertex order, for
+// deterministic output and comparison in tests and experiment tables.
+func (cv *Covering) Canonicalize() {
+	sort.Slice(cv.Cycles, func(i, j int) bool {
+		a, b := cv.Cycles[i], cv.Cycles[j]
+		if a.Len() != b.Len() {
+			return a.Len() < b.Len()
+		}
+		av, bv := a.Vertices(), b.Vertices()
+		for k := range av {
+			if av[k] != bv[k] {
+				return av[k] < bv[k]
+			}
+		}
+		return false
+	})
+}
+
+// Stats summarises a covering for experiment output.
+type Stats struct {
+	N         int // ring size
+	Cycles    int // number of cycles (the objective)
+	Triangles int
+	Quads     int
+	Longer    int // cycles of length >= 5
+	Slots     int
+	Slack     int  // duplicate slots
+	ShortOnly bool // every cycle routes every pair along a short arc
+}
+
+// Summarize computes Stats for the covering.
+func (cv *Covering) Summarize() Stats {
+	s := Stats{
+		N:         cv.Ring.N(),
+		Cycles:    cv.Size(),
+		Slots:     cv.Slots(),
+		Slack:     cv.DuplicateSlots(),
+		ShortOnly: true,
+	}
+	for _, c := range cv.Cycles {
+		switch c.Len() {
+		case 3:
+			s.Triangles++
+		case 4:
+			s.Quads++
+		default:
+			s.Longer++
+		}
+		if !c.UsesShortArcsOnly(cv.Ring) {
+			s.ShortOnly = false
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d cycles=%d (C3=%d C4=%d C5+=%d) slots=%d slack=%d shortOnly=%v",
+		s.N, s.Cycles, s.Triangles, s.Quads, s.Longer, s.Slots, s.Slack, s.ShortOnly)
+}

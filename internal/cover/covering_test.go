@@ -1,0 +1,174 @@
+package cover
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// paperExample builds the valid covering from the paper's worked example:
+// G = C4, I = K4, covering {(1,2,3,4), (1,2,4), (1,3,4)} — relabelled to
+// 0-based vertices {(0,1,2,3), (0,1,3), (0,2,3)}.
+func paperExample(t *testing.T) *Covering {
+	t.Helper()
+	r := ring.MustNew(4)
+	cv := NewCovering(r)
+	cv.Add(
+		MustCycle(r, 0, 1, 2, 3),
+		MustCycle(r, 0, 1, 3),
+		MustCycle(r, 0, 2, 3),
+	)
+	return cv
+}
+
+func TestPaperExampleCoversK4(t *testing.T) {
+	cv := paperExample(t)
+	if err := cv.Covers(graph.Complete(4)); err != nil {
+		t.Fatalf("paper example must cover K4: %v", err)
+	}
+	if err := VerifyOptimal(cv); err != nil {
+		t.Fatalf("paper example is optimal (ρ(4)=3): %v", err)
+	}
+}
+
+func TestCoversDetectsMissingPair(t *testing.T) {
+	r := ring.MustNew(4)
+	cv := NewCovering(r)
+	// The paper's *invalid* covering: two C4s (1,2,3,4) and (1,3,4,2).
+	// The second is not a DRC cycle at all; as vertex sets both collapse
+	// to {0,1,2,3}, so the chords {0,2} and {1,3} stay uncovered.
+	cv.Add(MustCycle(r, 0, 1, 2, 3), MustCycle(r, 0, 2, 3, 1))
+	err := cv.Covers(graph.Complete(4))
+	if err == nil {
+		t.Fatal("chords of C4 uncovered: want error")
+	}
+	missing := cv.Uncovered(graph.Complete(4))
+	if len(missing) != 2 {
+		t.Fatalf("Uncovered = %v, want the two chords", missing)
+	}
+	if missing[0] != graph.NewEdge(0, 2) || missing[1] != graph.NewEdge(1, 3) {
+		t.Fatalf("Uncovered = %v, want [{0,2} {1,3}]", missing)
+	}
+}
+
+func TestCoversMultiplicity(t *testing.T) {
+	r := ring.MustNew(5)
+	cv := NewCovering(r)
+	cv.Add(MustCycle(r, 0, 1, 2), MustCycle(r, 0, 1, 2))
+	demand := graph.New(5)
+	demand.AddEdgeMulti(0, 1, 2)
+	if err := cv.Covers(demand); err != nil {
+		t.Errorf("pair {0,1} covered twice, multiplicity 2: %v", err)
+	}
+	demand.AddEdgeMulti(0, 1, 1)
+	if err := cv.Covers(demand); err == nil {
+		t.Error("multiplicity 3 > coverage 2: want error")
+	}
+}
+
+func TestCoversRejectsOversizedDemand(t *testing.T) {
+	r := ring.MustNew(4)
+	cv := NewCovering(r)
+	if err := cv.Covers(graph.Complete(5)); err == nil {
+		t.Error("demand on 5 vertices over ring of 4: want error")
+	}
+}
+
+func TestCompositionAndStats(t *testing.T) {
+	cv := paperExample(t)
+	comp := cv.Composition()
+	if comp[3] != 2 || comp[4] != 1 {
+		t.Errorf("Composition = %v, want 2×C3 + 1×C4", comp)
+	}
+	if cv.NumTriangles() != 2 || cv.NumQuads() != 1 {
+		t.Error("NumTriangles/NumQuads mismatch")
+	}
+	s := cv.Summarize()
+	if s.Cycles != 3 || s.Triangles != 2 || s.Quads != 1 || s.Longer != 0 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Slots != 10 || s.Slack != 4 {
+		// 3+3+4 = 10 slots over 6 pairs: the two C3s re-cover edges of the
+		// C4... slots 10, distinct pairs 6 → slack 4.
+		t.Errorf("Slots=%d Slack=%d, want 10, 4", s.Slots, s.Slack)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String must be non-empty")
+	}
+}
+
+func TestTotalVerticesAndSlots(t *testing.T) {
+	cv := paperExample(t)
+	if cv.TotalVertices() != 10 || cv.Slots() != 10 {
+		t.Errorf("TotalVertices = %d, Slots = %d, want 10", cv.TotalVertices(), cv.Slots())
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r := ring.MustNew(6)
+	cv := NewCovering(r)
+	cv.Add(MustCycle(r, 0, 1, 2), MustCycle(r, 2, 0, 1), MustCycle(r, 3, 4, 5))
+	cv.Dedup()
+	if cv.Size() != 2 {
+		t.Errorf("Dedup: size = %d, want 2", cv.Size())
+	}
+}
+
+func TestCanonicalizeDeterministic(t *testing.T) {
+	r := ring.MustNew(6)
+	cv := NewCovering(r)
+	cv.Add(MustCycle(r, 0, 1, 2, 3), MustCycle(r, 3, 4, 5), MustCycle(r, 0, 4, 5))
+	cv.Canonicalize()
+	if !cv.Cycles[0].Equal(MustCycle(r, 0, 4, 5)) {
+		t.Errorf("first after canonicalize = %v", cv.Cycles[0])
+	}
+	if !cv.Cycles[2].IsQuad() {
+		t.Errorf("longest cycle must sort last, got %v", cv.Cycles[2])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	cv := paperExample(t)
+	c2 := cv.Clone()
+	c2.Add(MustCycle(cv.Ring, 0, 1, 2))
+	if cv.Size() == c2.Size() {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestVerifyDRCOnValidCycles(t *testing.T) {
+	r := ring.MustNew(9)
+	for _, c := range []Cycle{
+		MustCycle(r, 0, 1, 2),
+		MustCycle(r, 0, 3, 6),
+		MustCycle(r, 1, 4, 5, 8),
+		MustCycle(r, 0, 1, 2, 3, 4, 5, 6, 7, 8),
+	} {
+		if err := VerifyDRC(r, c); err != nil {
+			t.Errorf("VerifyDRC(%v): %v", c, err)
+		}
+	}
+}
+
+func TestVerifyWholeCovering(t *testing.T) {
+	cv := paperExample(t)
+	if err := Verify(cv, graph.Complete(4)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Demand with an uncovered pair must fail.
+	r := ring.MustNew(5)
+	bad := NewCovering(r)
+	bad.Add(MustCycle(r, 0, 1, 2))
+	if err := Verify(bad, graph.Complete(5)); err == nil {
+		t.Error("incomplete covering must fail Verify")
+	}
+}
+
+func TestVerifyOptimalRejectsOversized(t *testing.T) {
+	cv := paperExample(t)
+	cv.Add(MustCycle(cv.Ring, 0, 1, 2)) // redundant 4th cycle
+	if err := VerifyOptimal(cv); err == nil {
+		t.Error("4 cycles for ρ(4)=3: want error")
+	}
+}

@@ -1,0 +1,87 @@
+package cover
+
+import "fmt"
+
+// Rho returns ρ(n), the minimum number of cycles in a DRC-covering of K_n
+// over C_n, per the paper's theorems:
+//
+//   - Theorem 1: n = 2p+1 odd ⇒ ρ(n) = p(p+1)/2;
+//   - Theorem 2: n = 2p even, p ≥ 3 ⇒ ρ(n) = ⌈(p²+1)/2⌉.
+//
+// The even formula also yields the correct value ρ(4) = 3 (p = 2), which
+// matches the paper's worked example on C_4/K_4 and our exhaustive search;
+// Theorem 2's p ≥ 3 restriction concerns its stated C3/C4 composition, not
+// the count. Rho panics for n < 3.
+func Rho(n int) int {
+	if n < 3 {
+		panic(fmt.Sprintf("cover: Rho undefined for n = %d", n))
+	}
+	if n%2 == 1 {
+		p := (n - 1) / 2
+		return p * (p + 1) / 2
+	}
+	p := n / 2
+	return (p*p + 1 + 1) / 2 // ⌈(p²+1)/2⌉
+}
+
+// Composition is the cycle-length mix of a covering: how many C3 and C4
+// (the paper's constructions use no longer cycles).
+type Composition struct {
+	C3, C4 int
+}
+
+// Total returns the number of cycles in the composition.
+func (c Composition) Total() int { return c.C3 + c.C4 }
+
+// Slots returns the number of pair-slots the composition provides.
+func (c Composition) Slots() int { return 3*c.C3 + 4*c.C4 }
+
+func (c Composition) String() string {
+	return fmt.Sprintf("%d×C3 + %d×C4", c.C3, c.C4)
+}
+
+// TheoremComposition returns the C3/C4 mix of the covering stated by the
+// paper's theorems, and ok = true when the paper specifies one:
+//
+//   - n = 2p+1: p C3 and p(p−1)/2 C4 (Theorem 1, n ≥ 3);
+//   - n = 4q:   4 C3 and 2q²−3 C4 (Theorem 2, q ≥ 2 so the C4 count is
+//     non-negative and p = 2q ≥ 3... the theorem requires p ≥ 3, i.e. n ≥ 8);
+//   - n = 4q+2: 2 C3 and 2q²+2q−1 C4 (Theorem 2, n ≥ 6).
+//
+// For n = 4 the paper's worked example exhibits 2 C3 + 1 C4, which we also
+// return with ok = true since the text states it explicitly.
+func TheoremComposition(n int) (Composition, bool) {
+	switch {
+	case n < 3:
+		return Composition{}, false
+	case n%2 == 1:
+		p := (n - 1) / 2
+		return Composition{C3: p, C4: p * (p - 1) / 2}, true
+	case n == 4:
+		return Composition{C3: 2, C4: 1}, true
+	case n%4 == 0:
+		q := n / 4
+		if q < 2 {
+			return Composition{}, false
+		}
+		return Composition{C3: 4, C4: 2*q*q - 3}, true
+	default: // n ≡ 2 (mod 4), n ≥ 6
+		q := (n - 2) / 4
+		return Composition{C3: 2, C4: 2*q*q + 2*q - 1}, true
+	}
+}
+
+// EdgeCount returns |E(K_n)| = n(n−1)/2, the number of pairs a covering of
+// the all-to-all instance must serve.
+func EdgeCount(n int) int { return n * (n - 1) / 2 }
+
+// TheoremSlack returns the number of duplicate slots implied by the
+// paper's stated composition: Slots − |E(K_n)|. It is 0 for odd n (the
+// optimal covering is a partition) and positive for even n.
+func TheoremSlack(n int) (int, bool) {
+	comp, ok := TheoremComposition(n)
+	if !ok {
+		return 0, false
+	}
+	return comp.Slots() - EdgeCount(n), true
+}

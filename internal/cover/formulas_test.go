@@ -1,0 +1,140 @@
+package cover
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRhoSmallValues(t *testing.T) {
+	// Hand-checked values: ρ(3)=1 (one triangle), ρ(4)=3 (paper example),
+	// ρ(5)=3 (Theorem 1, p=2), ρ(6)=5, ρ(7)=6, ρ(8)=9, ρ(9)=10, ρ(10)=13,
+	// ρ(11)=15, ρ(12)=19.
+	want := map[int]int{3: 1, 4: 3, 5: 3, 6: 5, 7: 6, 8: 9, 9: 10, 10: 13, 11: 15, 12: 19}
+	for n, w := range want {
+		if got := Rho(n); got != w {
+			t.Errorf("Rho(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestRhoPanicsBelow3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rho(2): want panic")
+		}
+	}()
+	Rho(2)
+}
+
+func TestRhoMatchesTheoremFormulas(t *testing.T) {
+	for p := 1; p <= 60; p++ {
+		if got, w := Rho(2*p+1), p*(p+1)/2; got != w {
+			t.Errorf("Rho(%d) = %d, want p(p+1)/2 = %d", 2*p+1, got, w)
+		}
+	}
+	for p := 2; p <= 60; p++ {
+		w := (p*p + 1) / 2
+		if (p*p+1)%2 != 0 {
+			w++
+		}
+		if got := Rho(2 * p); got != w {
+			t.Errorf("Rho(%d) = %d, want ⌈(p²+1)/2⌉ = %d", 2*p, got, w)
+		}
+	}
+}
+
+func TestTheoremCompositionConsistency(t *testing.T) {
+	// Wherever the paper states a composition, its total must equal ρ(n)
+	// and its slot count must be at least |E(K_n)|.
+	for n := 3; n <= 200; n++ {
+		comp, ok := TheoremComposition(n)
+		if !ok {
+			if n >= 5 {
+				t.Errorf("TheoremComposition(%d): want ok for n >= 5", n)
+			}
+			continue
+		}
+		if comp.Total() != Rho(n) {
+			t.Errorf("n=%d: composition total %d != ρ = %d (%v)", n, comp.Total(), Rho(n), comp)
+		}
+		if comp.Slots() < EdgeCount(n) {
+			t.Errorf("n=%d: composition provides %d slots < %d edges", n, comp.Slots(), EdgeCount(n))
+		}
+		if comp.C3 < 0 || comp.C4 < 0 {
+			t.Errorf("n=%d: negative composition %v", n, comp)
+		}
+	}
+}
+
+func TestTheoremCompositionKnownRows(t *testing.T) {
+	cases := []struct {
+		n      int
+		c3, c4 int
+	}{
+		{3, 1, 0},   // K3: single triangle
+		{5, 2, 1},   // Theorem 1, p=2
+		{7, 3, 3},   // Theorem 1, p=3
+		{9, 4, 6},   // Theorem 1, p=4
+		{4, 2, 1},   // paper's worked example
+		{6, 2, 3},   // Theorem 2, n=4q+2, q=1
+		{8, 4, 5},   // Theorem 2, n=4q, q=2
+		{10, 2, 11}, // q=2: 2q²+2q−1 = 11
+		{12, 4, 15}, // q=3: 2q²−3 = 15
+	}
+	for _, c := range cases {
+		comp, ok := TheoremComposition(c.n)
+		if !ok {
+			t.Errorf("TheoremComposition(%d): not stated", c.n)
+			continue
+		}
+		if comp.C3 != c.c3 || comp.C4 != c.c4 {
+			t.Errorf("TheoremComposition(%d) = %v, want %d×C3 + %d×C4", c.n, comp, c.c3, c.c4)
+		}
+	}
+}
+
+func TestTheoremSlack(t *testing.T) {
+	// Odd n: the optimal covering is a partition, slack 0.
+	for p := 1; p <= 40; p++ {
+		s, ok := TheoremSlack(2*p + 1)
+		if !ok || s != 0 {
+			t.Errorf("TheoremSlack(%d) = %d,%v; want 0,true", 2*p+1, s, ok)
+		}
+	}
+	// Even n = 2p: the stated compositions give slack p... for n=4q:
+	// slots 12+4(2q²−3) = 8q², edges 8q²−2q → slack 2q = p/... p=2q.
+	for q := 2; q <= 20; q++ {
+		n := 4 * q
+		s, ok := TheoremSlack(n)
+		if !ok || s != 2*q {
+			t.Errorf("TheoremSlack(%d) = %d,%v; want %d,true", n, s, ok, 2*q)
+		}
+	}
+	for q := 1; q <= 20; q++ {
+		n := 4*q + 2
+		s, ok := TheoremSlack(n)
+		if !ok || s != 2*q+1 {
+			t.Errorf("TheoremSlack(%d) = %d,%v; want %d,true", n, s, ok, 2*q+1)
+		}
+	}
+}
+
+func TestCompositionHelpers(t *testing.T) {
+	c := Composition{C3: 2, C4: 3}
+	if c.Total() != 5 || c.Slots() != 18 {
+		t.Errorf("Total=%d Slots=%d, want 5, 18", c.Total(), c.Slots())
+	}
+	if c.String() != "2×C3 + 3×C4" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestEdgeCountProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 3 + int(raw)%100
+		return EdgeCount(n) == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

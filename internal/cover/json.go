@@ -1,0 +1,49 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// coveringJSON is the stable interchange form used by the CLI tools:
+// {"n": 7, "cycles": [[0,3,4], ...]}.
+type coveringJSON struct {
+	N      int     `json:"n"`
+	Cycles [][]int `json:"cycles"`
+}
+
+// MarshalJSON encodes the covering as its ring size and cycle vertex
+// sets.
+func (cv *Covering) MarshalJSON() ([]byte, error) {
+	out := coveringJSON{N: cv.Ring.N()}
+	for _, c := range cv.Cycles {
+		out.Cycles = append(out.Cycles, c.Vertices())
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a covering: the ring size must be
+// admissible and every cycle a valid DRC cycle (≥3 distinct vertices on
+// the ring).
+func (cv *Covering) UnmarshalJSON(data []byte) error {
+	var in coveringJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("cover: decoding covering: %w", err)
+	}
+	r, err := ring.New(in.N)
+	if err != nil {
+		return fmt.Errorf("cover: decoding covering: %w", err)
+	}
+	decoded := Covering{Ring: r}
+	for i, verts := range in.Cycles {
+		c, err := NewCycle(r, verts...)
+		if err != nil {
+			return fmt.Errorf("cover: decoding cycle %d: %w", i, err)
+		}
+		decoded.Cycles = append(decoded.Cycles, c)
+	}
+	*cv = decoded
+	return nil
+}

@@ -1,0 +1,64 @@
+package cover
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+func TestCoveringJSONRoundTrip(t *testing.T) {
+	r := ring.MustNew(4)
+	cv := NewCovering(r)
+	cv.Add(MustCycle(r, 0, 1, 2, 3), MustCycle(r, 0, 1, 3), MustCycle(r, 0, 2, 3))
+
+	data, err := json.Marshal(cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Covering
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ring.N() != 4 || back.Size() != 3 {
+		t.Fatalf("round trip lost data: n=%d size=%d", back.Ring.N(), back.Size())
+	}
+	for i := range cv.Cycles {
+		if !back.Cycles[i].Equal(cv.Cycles[i]) {
+			t.Fatalf("cycle %d differs after round trip", i)
+		}
+	}
+	if err := Verify(&back, graph.Complete(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoveringJSONValidatesOnDecode(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"bad ring", `{"n": 2, "cycles": []}`},
+		{"short cycle", `{"n": 5, "cycles": [[0, 1]]}`},
+		{"duplicate vertex", `{"n": 5, "cycles": [[0, 1, 1]]}`},
+		{"not json", `{`},
+	}
+	for _, c := range cases {
+		var cv Covering
+		if err := json.Unmarshal([]byte(c.data), &cv); err == nil {
+			t.Errorf("%s: want decode error", c.name)
+		}
+	}
+}
+
+func TestCoveringJSONNormalisesLabels(t *testing.T) {
+	var cv Covering
+	// Vertex 7 on C5 normalises to 2.
+	if err := json.Unmarshal([]byte(`{"n": 5, "cycles": [[0, 7, 4]]}`), &cv); err != nil {
+		t.Fatal(err)
+	}
+	if !cv.Cycles[0].Equal(MustCycle(ring.MustNew(5), 0, 2, 4)) {
+		t.Fatalf("decoded cycle %v", cv.Cycles[0])
+	}
+}

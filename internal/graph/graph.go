@@ -1,0 +1,334 @@
+// Package graph provides the undirected graph substrate used to model
+// logical (virtual) demand graphs and to verify coverings.
+//
+// The paper models demands as an undirected logical graph I on the ring's
+// vertices (symmetric requests routed symmetrically); the all-to-all
+// instance is the complete graph K_n. A covering of I is checked by pure
+// edge bookkeeping, so the package centres on a compact undirected
+// multigraph with counted edges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected vertex pair in canonical order (U < V).
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the canonical edge for the unordered pair {u, v}.
+// It panics if u == v: the logical graphs in this model are loopless.
+func NewEdge(u, v int) Edge {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not w; ok is false if w is not an
+// endpoint.
+func (e Edge) Other(w int) (int, bool) {
+	switch w {
+	case e.U:
+		return e.V, true
+	case e.V:
+		return e.U, true
+	}
+	return 0, false
+}
+
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// Graph is an undirected multigraph on vertices 0..n-1 with counted edges
+// (multiplicity per vertex pair). The zero value is unusable; call New.
+type Graph struct {
+	n    int
+	mult map[Edge]int
+	deg  []int
+	m    int // total edge count including multiplicity
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, mult: make(map[Edge]int), deg: make([]int, n)}
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// LambdaComplete returns λK_n, the complete multigraph where every pair is
+// joined by lambda parallel edges. It panics for lambda < 1.
+func LambdaComplete(n, lambda int) *Graph {
+	if lambda < 1 {
+		panic("graph: lambda must be >= 1")
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdgeMulti(u, v, lambda)
+		}
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges counted with multiplicity.
+func (g *Graph) M() int { return g.m }
+
+// DistinctEdges returns the number of distinct vertex pairs with at least
+// one edge.
+func (g *Graph) DistinctEdges() int { return len(g.mult) }
+
+// Degree returns the degree of v counted with multiplicity.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return g.deg[v]
+}
+
+// Multiplicity returns the number of parallel edges between u and v.
+func (g *Graph) Multiplicity(u, v int) int {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return 0
+	}
+	return g.mult[NewEdge(u, v)]
+}
+
+// HasEdge reports whether at least one edge joins u and v.
+func (g *Graph) HasEdge(u, v int) bool { return g.Multiplicity(u, v) > 0 }
+
+// AddEdge adds one edge between u and v.
+func (g *Graph) AddEdge(u, v int) { g.AddEdgeMulti(u, v, 1) }
+
+// AddEdgeMulti adds k parallel edges between u and v. It panics on
+// self-loops, out-of-range vertices or k < 1.
+func (g *Graph) AddEdgeMulti(u, v, k int) {
+	g.check(u)
+	g.check(v)
+	if k < 1 {
+		panic("graph: AddEdgeMulti with k < 1")
+	}
+	e := NewEdge(u, v)
+	g.mult[e] += k
+	g.deg[u] += k
+	g.deg[v] += k
+	g.m += k
+}
+
+// RemoveEdge removes one edge between u and v; it reports whether an edge
+// was present.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false
+	}
+	e := NewEdge(u, v)
+	if g.mult[e] == 0 {
+		return false
+	}
+	g.mult[e]--
+	if g.mult[e] == 0 {
+		delete(g.mult, e)
+	}
+	g.deg[u]--
+	g.deg[v]--
+	g.m--
+	return true
+}
+
+// Edges returns the distinct edges in deterministic (sorted) order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, len(g.mult))
+	for e := range g.mult {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// EdgesWithMultiplicity returns every edge repeated by its multiplicity,
+// in deterministic order.
+func (g *Graph) EdgesWithMultiplicity() []Edge {
+	es := make([]Edge, 0, g.m)
+	for _, e := range g.Edges() {
+		for i := 0; i < g.mult[e]; i++ {
+			es = append(es, e)
+		}
+	}
+	return es
+}
+
+// Neighbors returns the distinct neighbours of v in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	var ns []int
+	for e := range g.mult {
+		if w, ok := e.Other(v); ok {
+			ns = append(ns, w)
+		}
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e, k := range g.mult {
+		c.mult[e] = k
+	}
+	copy(c.deg, g.deg)
+	c.m = g.m
+	return c
+}
+
+// IsSubgraphOf reports whether every edge of g (with multiplicity) appears
+// in h.
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.n > h.n {
+		return false
+	}
+	for e, k := range g.mult {
+		if h.mult[e] < k {
+			return false
+		}
+	}
+	return true
+}
+
+// Connected reports whether the graph is connected, ignoring isolated
+// vertices when ignoreIsolated is set. The empty graph counts as
+// connected.
+func (g *Graph) Connected(ignoreIsolated bool) bool {
+	start := -1
+	for v := 0; v < g.n; v++ {
+		if g.deg[v] > 0 || !ignoreIsolated {
+			start = v
+			break
+		}
+	}
+	if start == -1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if !seen[v] && (g.deg[v] > 0 || !ignoreIsolated) {
+			return false
+		}
+	}
+	return true
+}
+
+// EveryDegreeEven reports whether every vertex has even degree — the
+// Eulerian condition used by the DRC structure argument (Fact A in
+// DESIGN.md): the union of edge-disjoint routes of a cycle's requests has
+// all-even degrees on the ring.
+func (g *Graph) EveryDegreeEven() bool {
+	for _, d := range g.deg {
+		if d%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EulerCircuit returns an Eulerian circuit as a vertex walk (first ==
+// last) if the graph is connected (ignoring isolated vertices) with all
+// degrees even and at least one edge; ok reports success. Hierholzer's
+// algorithm on the multigraph.
+func (g *Graph) EulerCircuit() ([]int, bool) {
+	if g.m == 0 || !g.EveryDegreeEven() || !g.Connected(true) {
+		return nil, false
+	}
+	work := g.Clone()
+	start := -1
+	for v := 0; v < g.n; v++ {
+		if work.deg[v] > 0 {
+			start = v
+			break
+		}
+	}
+	// Hierholzer: walk until stuck (back at a vertex with no unused
+	// edges), splicing sub-tours.
+	circuit := []int{start}
+	for i := 0; i < len(circuit); i++ {
+		v := circuit[i]
+		if work.deg[v] == 0 {
+			continue
+		}
+		// Grow a sub-tour from v and splice it in at position i.
+		var tour []int
+		cur := v
+		for work.deg[cur] > 0 {
+			ns := work.Neighbors(cur)
+			next := ns[0]
+			work.RemoveEdge(cur, next)
+			tour = append(tour, next)
+			cur = next
+		}
+		spliced := make([]int, 0, len(circuit)+len(tour))
+		spliced = append(spliced, circuit[:i+1]...)
+		spliced = append(spliced, tour...)
+		spliced = append(spliced, circuit[i+1:]...)
+		circuit = spliced
+	}
+	if work.m != 0 {
+		return nil, false
+	}
+	return circuit, true
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}

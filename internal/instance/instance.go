@@ -1,0 +1,101 @@
+// Package instance models the logical layer of the paper: the family of
+// symmetric communication requests ("instance of communications") carried
+// by the physical ring. Each instance is an undirected logical multigraph
+// on the ring's vertices. The paper's central case is the total exchange
+// (all-to-all) instance K_n; λK_n and general logical graphs appear in its
+// extensions section.
+package instance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+)
+
+// Instance is a named demand set over n vertices.
+type Instance struct {
+	Name   string
+	Demand *graph.Graph
+}
+
+// N returns the number of vertices.
+func (in Instance) N() int { return in.Demand.N() }
+
+// Requests returns the number of demand edges counted with multiplicity.
+func (in Instance) Requests() int { return in.Demand.M() }
+
+// AllToAll is the total exchange instance: every pair communicates, the
+// logical graph is K_n.
+func AllToAll(n int) Instance {
+	return Instance{Name: fmt.Sprintf("all-to-all K_%d", n), Demand: graph.Complete(n)}
+}
+
+// Lambda is the λK_n instance from the paper's extensions: every pair
+// demands λ parallel connections.
+func Lambda(n, lambda int) Instance {
+	return Instance{
+		Name:   fmt.Sprintf("%dK_%d", lambda, n),
+		Demand: graph.LambdaComplete(n, lambda),
+	}
+}
+
+// Neighbors is the adjacency instance: each node talks only to its two
+// ring neighbours (a pure metro-ring traffic pattern).
+func Neighbors(n int) Instance {
+	return Instance{Name: fmt.Sprintf("ring neighbours C_%d", n), Demand: graph.Cycle(n)}
+}
+
+// Hub is the hubbed instance: every node communicates with a single hub
+// (typical access-network traffic where one office aggregates upstream).
+func Hub(n, hub int) Instance {
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		if v != hub {
+			g.AddEdge(hub, v)
+		}
+	}
+	return Instance{Name: fmt.Sprintf("hub@%d on %d nodes", hub, n), Demand: g}
+}
+
+// RandomSymmetric samples each pair independently with probability
+// density, using the given seed for reproducibility. Density is clamped
+// to [0, 1].
+func RandomSymmetric(n int, density float64, seed int64) Instance {
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < density {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return Instance{
+		Name:   fmt.Sprintf("random(n=%d, d=%.2f, seed=%d)", n, density, seed),
+		Demand: g,
+	}
+}
+
+// FromPairs builds an instance from explicit vertex pairs; repeated pairs
+// accumulate multiplicity.
+func FromPairs(n int, pairs [][2]int) (Instance, error) {
+	g := graph.New(n)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return Instance{}, fmt.Errorf("instance: pair (%d,%d) outside [0,%d)", u, v, n)
+		}
+		if u == v {
+			return Instance{}, fmt.Errorf("instance: self-request at node %d", u)
+		}
+		g.AddEdge(u, v)
+	}
+	return Instance{Name: fmt.Sprintf("custom (%d requests)", g.M()), Demand: g}, nil
+}

@@ -1,0 +1,110 @@
+package instance
+
+import (
+	"testing"
+)
+
+func TestAllToAll(t *testing.T) {
+	in := AllToAll(7)
+	if in.N() != 7 || in.Requests() != 21 {
+		t.Errorf("K7: N=%d requests=%d", in.N(), in.Requests())
+	}
+	if in.Name == "" {
+		t.Error("instances must be named")
+	}
+}
+
+func TestLambda(t *testing.T) {
+	in := Lambda(5, 3)
+	if in.Requests() != 30 {
+		t.Errorf("3K5: requests = %d, want 30", in.Requests())
+	}
+	if in.Demand.Multiplicity(0, 4) != 3 {
+		t.Errorf("3K5: multiplicity = %d, want 3", in.Demand.Multiplicity(0, 4))
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	in := Neighbors(6)
+	if in.Requests() != 6 {
+		t.Errorf("C6 demand: %d requests, want 6", in.Requests())
+	}
+	if !in.Demand.HasEdge(5, 0) {
+		t.Error("neighbour demand must wrap")
+	}
+	if in.Demand.HasEdge(0, 2) {
+		t.Error("no chord demands in the neighbour instance")
+	}
+}
+
+func TestHub(t *testing.T) {
+	in := Hub(6, 2)
+	if in.Requests() != 5 {
+		t.Errorf("hub: %d requests, want 5", in.Requests())
+	}
+	for v := 0; v < 6; v++ {
+		if v == 2 {
+			continue
+		}
+		if !in.Demand.HasEdge(2, v) {
+			t.Errorf("hub must reach node %d", v)
+		}
+	}
+	if in.Demand.Degree(2) != 5 {
+		t.Errorf("hub degree = %d, want 5", in.Demand.Degree(2))
+	}
+}
+
+func TestRandomSymmetricReproducible(t *testing.T) {
+	a := RandomSymmetric(12, 0.4, 7)
+	b := RandomSymmetric(12, 0.4, 7)
+	if a.Requests() != b.Requests() {
+		t.Fatal("same seed must give same instance")
+	}
+	ea, eb := a.Demand.Edges(), b.Demand.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed must give same edges")
+		}
+	}
+	c := RandomSymmetric(12, 0.4, 8)
+	if c.Requests() == a.Requests() {
+		// Not impossible, but the edge sets should differ.
+		same := true
+		ec := c.Demand.Edges()
+		for i := range ea {
+			if i >= len(ec) || ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical instances")
+		}
+	}
+}
+
+func TestRandomSymmetricDensityClamp(t *testing.T) {
+	if got := RandomSymmetric(8, -1, 1).Requests(); got != 0 {
+		t.Errorf("density<0: %d requests, want 0", got)
+	}
+	if got := RandomSymmetric(8, 2, 1).Requests(); got != 28 {
+		t.Errorf("density>1: %d requests, want all 28", got)
+	}
+}
+
+func TestFromPairs(t *testing.T) {
+	in, err := FromPairs(5, [][2]int{{0, 2}, {2, 0}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Demand.Multiplicity(0, 2) != 2 {
+		t.Errorf("repeated pair must accumulate multiplicity, got %d", in.Demand.Multiplicity(0, 2))
+	}
+	if _, err := FromPairs(5, [][2]int{{0, 7}}); err == nil {
+		t.Error("out-of-range pair: want error")
+	}
+	if _, err := FromPairs(5, [][2]int{{3, 3}}); err == nil {
+		t.Error("self request: want error")
+	}
+}

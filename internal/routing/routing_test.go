@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// TestPaperCounterExample reproduces the paper's illustration on G = C4,
+// I = K4 (0-based labels): the cycle (1,3,4,2) → (0,2,3,1) admits no
+// edge-disjoint routing because requests {0,2} and {1,3} cannot use
+// disjoint paths, while (1,2,3,4) → (0,1,2,3) does.
+func TestPaperCounterExample(t *testing.T) {
+	r := ring.MustNew(4)
+	bad := Tour{0, 2, 3, 1}
+	if bad.HasDisjointRouting(r) {
+		t.Error("(0,2,3,1) on C4: structural test must reject")
+	}
+	if _, ok := bad.FindDisjointRouting(r); ok {
+		t.Error("(0,2,3,1) on C4: exhaustive search must find nothing")
+	}
+	good := Tour{0, 1, 2, 3}
+	if !good.HasDisjointRouting(r) {
+		t.Error("(0,1,2,3) on C4: want routable")
+	}
+	routes, ok := good.FindDisjointRouting(r)
+	if !ok {
+		t.Fatal("(0,1,2,3) on C4: exhaustive search must succeed")
+	}
+	if !Disjoint(r, routes) {
+		t.Error("returned routing must be disjoint")
+	}
+}
+
+func TestPaperValidCoveringTours(t *testing.T) {
+	// The paper's valid covering of K4: C4 (1,2,3,4) plus triangles
+	// (1,2,4) and (1,3,4) — all three must be DRC-routable.
+	r := ring.MustNew(4)
+	for _, tour := range []Tour{{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 3}} {
+		if !tour.HasDisjointRouting(r) {
+			t.Errorf("tour %v: want routable", tour)
+		}
+	}
+}
+
+func TestIsRingOrdered(t *testing.T) {
+	r := ring.MustNew(8)
+	cases := []struct {
+		tour Tour
+		want bool
+	}{
+		{Tour{0, 1, 2}, true},
+		{Tour{2, 5, 7}, true},
+		{Tour{7, 0, 3}, true},          // wraps
+		{Tour{3, 7, 0}, true},          // rotation of above
+		{Tour{0, 3, 7}, true},          // same cycle, same orientation class
+		{Tour{0, 7, 3}, true},          // reversal: counter-clockwise
+		{Tour{0, 2, 1}, true},          // triangle: every order of 3 vertices is cyclic
+		{Tour{0, 2, 1, 3}, false},      // crossing quad
+		{Tour{0, 4, 2, 6}, false},      // interleaved diameters
+		{Tour{1, 2, 3, 0}, true},       // rotation of 0,1,2,3
+		{Tour{3, 2, 1, 0}, true},       // reversal
+		{Tour{0, 1, 5, 3, 7}, false},   // scrambled
+		{Tour{5, 6, 7, 0, 1, 2}, true}, // long wrap
+	}
+	for _, c := range cases {
+		if got := c.tour.IsRingOrdered(r); got != c.want {
+			t.Errorf("IsRingOrdered(%v) = %v, want %v", c.tour, got, c.want)
+		}
+	}
+}
+
+func TestAnyTriangleIsRoutable(t *testing.T) {
+	// Any 3 distinct vertices in any order form a cyclically ordered tour.
+	r := ring.MustNew(9)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := rng.Perm(9)[:3]
+		return Tour(vs).HasDisjointRouting(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStructuralMatchesExhaustive is the computational certificate for the
+// DRC structure theorem (Fact A): on every tour tried, the O(k) ring-order
+// criterion agrees with exhaustive search over all 2^k arc assignments.
+func TestStructuralMatchesExhaustive(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7} {
+		r := ring.MustNew(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 400; trial++ {
+			k := 3 + rng.Intn(n-2)
+			tour := Tour(rng.Perm(n)[:k])
+			structural := tour.HasDisjointRouting(r)
+			_, exhaustive := tour.FindDisjointRouting(r)
+			if structural != exhaustive {
+				t.Fatalf("n=%d tour=%v: structural=%v exhaustive=%v",
+					n, tour, structural, exhaustive)
+			}
+		}
+	}
+}
+
+func TestCanonicalRouting(t *testing.T) {
+	r := ring.MustNew(6)
+	tour := Tour{0, 2, 5}
+	routes, ok := tour.CanonicalRouting(r)
+	if !ok {
+		t.Fatal("(0,2,5): want routable")
+	}
+	if !Disjoint(r, routes) {
+		t.Error("canonical routing must be disjoint")
+	}
+	// The arcs must tile the ring: total length n.
+	total := 0
+	for _, rt := range routes {
+		total += rt.Arc.Len(r)
+	}
+	if total != 6 {
+		t.Errorf("arc lengths sum to %d, want 6", total)
+	}
+	if _, ok := Tour([]int{0, 2, 4, 1, 5, 3}).CanonicalRouting(r); ok {
+		t.Error("scrambled hexagon: want no canonical routing")
+	}
+}
+
+func TestCanonicalRoutingCounterClockwise(t *testing.T) {
+	r := ring.MustNew(7)
+	tour := Tour{5, 3, 0} // counter-clockwise ring order
+	routes, ok := tour.CanonicalRouting(r)
+	if !ok {
+		t.Fatal("(5,3,0): want routable")
+	}
+	if !Disjoint(r, routes) {
+		t.Error("ccw canonical routing must be disjoint")
+	}
+}
+
+func TestCanonicalRoutingMatchesRequests(t *testing.T) {
+	// Every request of the tour must appear exactly once in the routing.
+	r := ring.MustNew(11)
+	tour := Tour{1, 4, 6, 9}
+	routes, ok := tour.CanonicalRouting(r)
+	if !ok {
+		t.Fatal("want routable")
+	}
+	seen := map[graph.Edge]int{}
+	for _, rt := range routes {
+		seen[rt.Request]++
+	}
+	for _, req := range tour.Requests() {
+		if seen[req] != 1 {
+			t.Errorf("request %v routed %d times", req, seen[req])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := ring.MustNew(5)
+	if err := Tour([]int{0, 1}).Validate(r); err == nil {
+		t.Error("short tour: want error")
+	}
+	if err := Tour([]int{0, 1, 0}).Validate(r); err == nil {
+		t.Error("repeated vertex: want error")
+	}
+	if err := Tour([]int{0, 1, 9}).Validate(r); err == nil {
+		t.Error("out-of-range vertex: want error")
+	}
+	if err := Tour([]int{0, 2, 4}).Validate(r); err != nil {
+		t.Errorf("valid tour rejected: %v", err)
+	}
+}
+
+func TestRequests(t *testing.T) {
+	reqs := Tour([]int{3, 1, 4}).Requests()
+	want := []graph.Edge{graph.NewEdge(3, 1), graph.NewEdge(1, 4), graph.NewEdge(4, 3)}
+	if len(reqs) != 3 {
+		t.Fatalf("Requests = %v", reqs)
+	}
+	for i := range want {
+		if reqs[i] != want[i] {
+			t.Fatalf("Requests = %v, want %v", reqs, want)
+		}
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	r := ring.MustNew(4)
+	routes := []Route{
+		{Request: graph.NewEdge(0, 1), Arc: r.ArcBetween(0, 1)},
+		{Request: graph.NewEdge(1, 3), Arc: r.ArcBetween(1, 3)},
+	}
+	loads := LinkLoads(r, routes)
+	want := []int{1, 1, 1, 0}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("LinkLoads = %v, want %v", loads, want)
+		}
+	}
+	if !Disjoint(r, routes) {
+		t.Error("want disjoint")
+	}
+	routes = append(routes, Route{Request: graph.NewEdge(0, 2), Arc: r.ArcBetween(0, 2)})
+	if Disjoint(r, routes) {
+		t.Error("link 0 and 1 double-used: want not disjoint")
+	}
+}
+
+func TestDisjointEmptyRoutes(t *testing.T) {
+	r := ring.MustNew(5)
+	if !Disjoint(r, nil) {
+		t.Error("no routes: trivially disjoint")
+	}
+}

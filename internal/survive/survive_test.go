@@ -1,0 +1,177 @@
+package survive
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+func simulator(t *testing.T, n int) *Simulator {
+	t.Helper()
+	res, err := construct.AllToAll(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := wdm.Plan(res.Covering, graph.Complete(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimulator(nw)
+}
+
+// TestEverySingleFailureRestored is the survivability property the whole
+// design exists for: any single link failure leaves every demand served.
+func TestEverySingleFailureRestored(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 9, 11, 14} {
+		sim := simulator(t, n)
+		sweep, err := sim.SingleFailureSweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sweep.AllRestored {
+			t.Fatalf("n=%d: %d demands lost under single failure", n, sweep.TotalLost)
+		}
+		if sweep.TotalAffected == 0 {
+			t.Fatalf("n=%d: some failures must affect some demands", n)
+		}
+	}
+}
+
+func TestFailReportBookkeeping(t *testing.T) {
+	sim := simulator(t, 7)
+	rep, err := sim.Fail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Restored() {
+		t.Fatal("single failure must be fully restored")
+	}
+	total := rep.Unaffected + len(rep.Affected)
+	if total != 21 {
+		t.Fatalf("accounted %d demands, want 21", total)
+	}
+	if rep.RestorationRate() != 1.0 {
+		t.Fatalf("restoration rate %f, want 1", rep.RestorationRate())
+	}
+	// Working + spare lengths always sum to n for ring protection.
+	for _, rr := range rep.Affected {
+		if rr.WorkingLen+rr.SpareLen != 7 {
+			t.Errorf("reroute %v: %d+%d != 7", rr.Request, rr.WorkingLen, rr.SpareLen)
+		}
+		if rr.WorkingLen < 1 || rr.SpareLen < 1 {
+			t.Errorf("degenerate reroute %v", rr)
+		}
+	}
+}
+
+func TestEveryLinkFailureAffectsEverySubnetwork(t *testing.T) {
+	// A subnetwork's working arcs tile the ring, so every link failure
+	// breaks exactly one working arc per subnetwork — i.e. the number of
+	// affected requests per failure equals the number of subnetworks.
+	sim := simulator(t, 9)
+	for l := 0; l < 9; l++ {
+		rep, err := sim.Fail(ring.Link(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Affected) != len(sim.nw.Subnets) {
+			t.Fatalf("link %d: %d affected, want one per subnetwork (%d)",
+				l, len(rep.Affected), len(sim.nw.Subnets))
+		}
+	}
+}
+
+func TestDoubleFailures(t *testing.T) {
+	sim := simulator(t, 8)
+	mean, worst, err := sim.DoubleFailureSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > mean || mean > 1 {
+		t.Fatalf("mean %f, worst %f: inconsistent", mean, worst)
+	}
+	if worst == 1 {
+		t.Fatal("some double failure must lose traffic on a ring")
+	}
+	if worst <= 0 {
+		t.Fatal("protection should still save some demands")
+	}
+}
+
+func TestAdjacentDoubleFailureIsolatesNode(t *testing.T) {
+	// Failing both links at node v cuts v off: every demand at v dies;
+	// demands not involving v survive (their cycle's spare path may pass
+	// v's links though). At minimum, all n−1 demands at v must be lost.
+	sim := simulator(t, 6)
+	rep, err := sim.Fail(ring.Link(5), ring.Link(0)) // isolates vertex 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostAt0 := 0
+	for _, e := range rep.Lost {
+		if e.U == 0 || e.V == 0 {
+			lostAt0++
+		}
+	}
+	if lostAt0 != 5 {
+		t.Fatalf("%d demands at the isolated node lost, want 5", lostAt0)
+	}
+}
+
+func TestFailValidation(t *testing.T) {
+	sim := simulator(t, 5)
+	if _, err := sim.Fail(ring.Link(9)); err == nil {
+		t.Fatal("out-of-range link: want error")
+	}
+	rep, err := sim.Fail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Affected) != 0 || len(rep.Lost) != 0 || rep.Unaffected != 10 {
+		t.Fatal("no failures: everything unaffected")
+	}
+}
+
+func TestSweepMetrics(t *testing.T) {
+	sim := simulator(t, 9)
+	sweep, err := sim.SingleFailureSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Links != 9 {
+		t.Errorf("Links = %d", sweep.Links)
+	}
+	if sweep.MaxSpareLen >= 9 || sweep.MaxSpareLen < 1 {
+		t.Errorf("MaxSpareLen = %d out of range", sweep.MaxSpareLen)
+	}
+	if sweep.SumWorkingLen+sweep.SumSpareLen != 9*sweep.TotalAffected {
+		t.Error("per-reroute working+spare must sum to n")
+	}
+	if sweep.WorstAffected < 1 {
+		t.Error("worst link must affect someone")
+	}
+}
+
+func TestPartialDemandSurvivability(t *testing.T) {
+	// Greedy-covered hub traffic must also be single-failure survivable.
+	r := ring.MustNew(10)
+	demand := graph.New(10)
+	for v := 1; v < 10; v++ {
+		demand.AddEdge(0, v)
+	}
+	cv := construct.Greedy(r, demand)
+	nw, err := wdm.Plan(cv, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := NewSimulator(nw).SingleFailureSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.AllRestored {
+		t.Fatal("hub demand must survive single failures")
+	}
+}

@@ -1,0 +1,72 @@
+package wdm
+
+import "fmt"
+
+// LinkChannelUse describes occupancy of one (link, subnetwork) pair on the
+// working wavelength.
+type LinkChannelUse struct {
+	Link       int
+	Subnetwork int
+	Requests   int // requests whose working arc crosses the link
+}
+
+// CapacityReport captures the structural capacity facts of a DRC design.
+type CapacityReport struct {
+	// PerfectWorkingFill is true when, for every subnetwork serving a
+	// complete assignment of its cycle's pairs, every ring link carries
+	// exactly one request on the working wavelength — the "half the
+	// capacity for the demands" remark of the paper: working channels are
+	// exactly filled, the other half (the spare wavelength) is reserved
+	// whole for protection.
+	PerfectWorkingFill bool
+	// Overfilled lists any (link, subnetwork) carrying more than one
+	// request — impossible for a verified DRC design; non-empty signals a
+	// planner bug.
+	Overfilled []LinkChannelUse
+	// MeanWorkingFill is the average occupancy over links and
+	// subnetworks. It is below 1 when the demand does not use every pair
+	// of every cycle (partial instances).
+	MeanWorkingFill float64
+}
+
+// Capacity analyses working-wavelength occupancy: for each subnetwork,
+// each demand assigned to it occupies its working arc's links on the
+// subnetwork's working wavelength.
+func (nw *Network) Capacity() (CapacityReport, error) {
+	links := nw.Ring.Links()
+	use := make([][]int, len(nw.Subnets))
+	for i := range use {
+		use[i] = make([]int, links)
+	}
+	for _, e := range nw.Demand.Edges() {
+		idx, ok := nw.Assignment[e]
+		if !ok {
+			return CapacityReport{}, fmt.Errorf("wdm: demand %v unassigned", e)
+		}
+		arc, ok := nw.WorkingArc(e.U, e.V)
+		if !ok {
+			return CapacityReport{}, fmt.Errorf("wdm: no working arc for %v", e)
+		}
+		for _, l := range arc.Links(nw.Ring) {
+			use[idx][l]++
+		}
+	}
+	rep := CapacityReport{PerfectWorkingFill: true}
+	total, cells := 0, 0
+	for i := range use {
+		for l, k := range use[i] {
+			total += k
+			cells++
+			if k != 1 {
+				rep.PerfectWorkingFill = false
+			}
+			if k > 1 {
+				rep.Overfilled = append(rep.Overfilled, LinkChannelUse{Link: l, Subnetwork: i, Requests: k})
+			}
+		}
+	}
+	if cells > 0 {
+		rep.MeanWorkingFill = float64(total) / float64(cells)
+	}
+	return rep, nil
+}
