@@ -14,8 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	cyclecover "github.com/cyclecover/cyclecover"
 )
@@ -101,37 +99,7 @@ func main() {
 }
 
 func parseDemand(n int, spec string) (cyclecover.Instance, error) {
-	switch {
-	case spec == "alltoall":
-		return cyclecover.AllToAll(n), nil
-	case spec == "neighbors":
-		return cyclecover.Neighbors(n), nil
-	case strings.HasPrefix(spec, "lambda:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(spec, "lambda:"))
-		if err != nil || k < 1 {
-			return cyclecover.Instance{}, fmt.Errorf("bad lambda spec %q", spec)
-		}
-		return cyclecover.LambdaAllToAll(n, k), nil
-	case strings.HasPrefix(spec, "hub:"):
-		h, err := strconv.Atoi(strings.TrimPrefix(spec, "hub:"))
-		if err != nil || h < 0 || h >= n {
-			return cyclecover.Instance{}, fmt.Errorf("bad hub spec %q", spec)
-		}
-		return cyclecover.Hub(n, h), nil
-	case strings.HasPrefix(spec, "random:"):
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return cyclecover.Instance{}, fmt.Errorf("bad random spec %q (want random:<density>:<seed>)", spec)
-		}
-		d, err1 := strconv.ParseFloat(parts[1], 64)
-		s, err2 := strconv.ParseInt(parts[2], 10, 64)
-		if err1 != nil || err2 != nil {
-			return cyclecover.Instance{}, fmt.Errorf("bad random spec %q", spec)
-		}
-		return cyclecover.RandomInstance(n, d, s), nil
-	default:
-		return cyclecover.Instance{}, fmt.Errorf("unknown demand %q", spec)
-	}
+	return cyclecover.ParseInstance(n, spec)
 }
 
 func fatal(err error) {

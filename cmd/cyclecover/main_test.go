@@ -16,6 +16,7 @@ func TestParseDemand(t *testing.T) {
 		{"random:0.0:5", 0, true},
 		{"lambda:0", 0, false},
 		{"lambda:x", 0, false},
+		{"lambda:1152921504606846976", 0, false}, // would overflow the edge count
 		{"hub:9", 0, false},
 		{"hub:-1", 0, false},
 		{"random:0.5", 0, false},

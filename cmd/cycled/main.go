@@ -1,0 +1,91 @@
+// Command cycled is the long-running planner daemon: it serves DRC cycle
+// coverings and WDM plans over HTTP/JSON, memoizing every verified result
+// so repeated traffic for the same ring is answered from cache.
+//
+// Endpoints (see DESIGN.md §5 for the full API):
+//
+//	GET  /plan?n=13&demand=alltoall   plan a covering + WDM design
+//	POST /verify                      verify a covering against a demand
+//	GET  /healthz                     liveness + cache/pool counters
+//	GET  /metrics                     Prometheus text exposition
+//
+// Usage:
+//
+//	cycled                        # listen on :8337
+//	cycled -addr 127.0.0.1:9000 -workers 8 -cache 512 -queue 128
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
+// in-flight requests drain (bounded by -drain), then the worker pool
+// stops.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/cyclecover/cyclecover/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	workers := flag.Int("workers", 0, "planner worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "covering cache capacity per store (0 = default)")
+	queue := flag.Int("queue", 64, "planner queue bound")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue}
+	if err := run(ctx, *addr, cfg, *drain, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "cycled:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains and returns. onReady, if
+// non-nil, receives the bound address once the listener is up (the tests
+// use it with a ":0" address).
+func run(ctx context.Context, addr string, cfg server.Config, drain time.Duration, logw io.Writer, onReady func(addr string)) error {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "cycled: listening on %s (workers=%d cache=%d queue=%d)\n",
+		ln.Addr(), cfg.Workers, cfg.CacheSize, cfg.Queue)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain in-flight requests before stopping the pool, so no handler is
+	// left waiting on a worker that will never run.
+	fmt.Fprintln(logw, "cycled: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutErr := hs.Shutdown(shutCtx)
+	<-errc // Serve has returned (http.ErrServerClosed)
+	srv.Close()
+	return shutErr
+}

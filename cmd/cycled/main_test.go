@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cyclecover/cyclecover/internal/server"
+)
+
+// TestDaemonServesAndShutsDownGracefully boots the daemon on an ephemeral
+// port, drives a plan request through it, then cancels the context and
+// expects a clean exit.
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", server.Config{CacheSize: 16, Workers: 2, Queue: 8},
+			5*time.Second, io.Discard, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/plan?n=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plan status = %d (%s)", resp.StatusCode, body)
+	}
+	var plan struct {
+		N       int     `json:"n"`
+		Size    int     `json:"size"`
+		Rho     int     `json:"rho"`
+		Optimal bool    `json:"optimal"`
+		Cycles  [][]int `json:"cycles"`
+	}
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatalf("bad plan body %s: %v", body, err)
+	}
+	if plan.N != 9 || !plan.Optimal || plan.Size != plan.Rho || len(plan.Cycles) != plan.Size {
+		t.Fatalf("daemon served a bogus plan: %+v", plan)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after shutdown")
+	}
+}
+
+// TestDaemonRejectsBusyAddress exercises the listen-failure path.
+func TestDaemonRejectsBusyAddress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", server.Config{Workers: 1}, time.Second, io.Discard,
+			func(addr string) { ready <- addr })
+	}()
+	addr := <-ready
+	if err := run(ctx, addr, server.Config{Workers: 1}, time.Second, io.Discard, nil); err == nil {
+		t.Fatal("second daemon bound an occupied address")
+	} else if !strings.Contains(err.Error(), "address") && !strings.Contains(err.Error(), "in use") {
+		t.Logf("listen error (accepted): %v", err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

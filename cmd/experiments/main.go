@@ -23,8 +23,13 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
 	outPath := flag.String("out", "", "also write results to this file")
 	workers := flag.Int("workers", 0, "parallel workers for the sweeps (0 = GOMAXPROCS)")
+	cold := flag.Bool("cold", false, "skip the warm-start snapshot (honest cold timings)")
+	saveCache := flag.String("save-cache", "", "after the sweep, write the covering cache snapshot here")
 	flag.Parse()
 	sweepWorkers = *workers
+	// Regenerating the snapshot from a warm cache would only write the old
+	// snapshot back, so -save-cache forces a cold sweep.
+	bench.SkipWarmStart = *cold || *saveCache != ""
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {
@@ -39,6 +44,19 @@ func main() {
 	if err := run(w, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *saveCache != "" {
+		f, err := os.Create(*saveCache)
+		if err == nil {
+			err = bench.SaveWarmSnapshot(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: saving cache:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -81,7 +99,11 @@ func run(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, bench.RenderT2(t2))
 
 	section(w, "T3 — exact optima by search (rho certified; rho-1 proved infeasible)")
-	fmt.Fprintln(w, bench.RenderT3(bench.TableT3(t3Ns, proofLimit)))
+	t3, err := bench.TableT3(t3Ns, proofLimit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, bench.RenderT3(t3))
 
 	section(w, "E1 — the paper's worked example on G=C4, I=K4")
 	e1 := bench.ExampleK4()
@@ -93,7 +115,11 @@ func run(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, bench.RenderC1(bench.TableC1(c1Ns)))
 
 	section(w, "C2 — objective comparison: number of cycles (this paper) vs total size (EMZ/GLS)")
-	fmt.Fprintln(w, bench.RenderC2(bench.TableC2(c1Ns)))
+	c2, err := bench.TableC2(c1Ns)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, bench.RenderC2(c2))
 
 	section(w, "F1 — asymptotics: rho(n)/n^2 → 1/8")
 	fmt.Fprintln(w, bench.RenderF1(bench.SeriesF1(f1Ns)))

@@ -18,10 +18,14 @@
 //     search-certified optimal up to the documented limit and
 //     asymptotically optimal beyond);
 //   - Verify — independent validity checking of any covering;
-//   - PlanWDM, NewSimulator — the optical layer and failure simulation.
+//   - PlanWDM, NewSimulator — the optical layer and failure simulation;
+//   - Planner — the cached planning facade: verified coverings and WDM
+//     plans memoized per instance signature with single-flight
+//     deduplication, the same path the cycled HTTP service
+//     (cmd/cycled) serves.
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// reproduction results.
+// See DESIGN.md for the architecture (§5 covers the planner service and
+// cache semantics) and EXPERIMENTS.md for the reproduction results.
 package cyclecover
 
 import (
@@ -94,6 +98,13 @@ func Neighbors(n int) Instance { return instance.Neighbors(n) }
 // RandomInstance samples a reproducible random symmetric demand.
 func RandomInstance(n int, density float64, seed int64) Instance {
 	return instance.RandomSymmetric(n, density, seed)
+}
+
+// ParseInstance builds an instance from the compact demand spec shared by
+// the CLI tools and the cycled service: alltoall | lambda:<k> |
+// hub:<node> | neighbors | random:<density>:<seed>.
+func ParseInstance(n int, spec string) (Instance, error) {
+	return instance.Parse(n, spec)
 }
 
 // CoverAllToAll constructs a DRC covering of K_n. optimal reports that the

@@ -1,0 +1,3 @@
+module github.com/cyclecover/cyclecover
+
+go 1.24

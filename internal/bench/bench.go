@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/cyclecover/cyclecover/internal/baselines"
+	"github.com/cyclecover/cyclecover/internal/cache"
 	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/graph"
@@ -20,6 +21,30 @@ import (
 	"github.com/cyclecover/cyclecover/internal/topo"
 	"github.com/cyclecover/cyclecover/internal/wdm"
 )
+
+// plans is the sweep-shared covering cache. The experiment tables revisit
+// the same ring sizes many times (T1/T2 build what C2 compares, F2 drills
+// and F3 prices the same networks, and the parallel wrappers fan out
+// duplicate signatures), so every table routes its constructions and WDM
+// plans through this cache instead of recomputing per call site. The
+// cache single-flights concurrent sweep workers on one signature; results
+// are verified before they are cached, and every caller gets a private
+// clone of the covering.
+var plans = cache.New(512)
+
+// allToAll is the cached construct.AllToAll.
+func allToAll(n int) (cache.CoverResult, error) {
+	warm()
+	res, _, err := plans.CoverAllToAll(n, cache.Options{})
+	return res, err
+}
+
+// allToAllNetwork is the cached wdm.Plan over the all-to-all covering.
+func allToAllNetwork(n int) (*wdm.Network, error) {
+	warm()
+	nw, _, err := plans.NetworkAllToAll(n, cache.Options{})
+	return nw, err
+}
 
 // Render formats rows as an aligned text table.
 func Render(headers []string, rows [][]string) string {
@@ -78,8 +103,12 @@ func TableT1(ns []int) ([]T1Row, error) {
 		if n%2 == 0 {
 			return nil, fmt.Errorf("bench: T1 wants odd n, got %d", n)
 		}
-		cv := construct.Odd(n)
-		err := cover.Verify(cv, graph.Complete(n))
+		res, err := allToAll(n) // odd n: the Theorem 1 construction, cached
+		if err != nil {
+			return nil, err
+		}
+		cv := res.Covering
+		err = cover.Verify(cv, graph.Complete(n))
 		comp, _ := cover.TheoremComposition(n)
 		rows = append(rows, T1Row{
 			N: n, P: (n - 1) / 2,
@@ -132,8 +161,12 @@ func TableT2(ns []int) ([]T2Row, error) {
 		if n%2 == 1 {
 			return nil, fmt.Errorf("bench: T2 wants even n, got %d", n)
 		}
-		cv, optimal := construct.Even(n)
-		err := cover.Verify(cv, graph.Complete(n))
+		res, err := allToAll(n) // even n: search within range, layered beyond
+		if err != nil {
+			return nil, err
+		}
+		cv, optimal := res.Covering, res.Optimal
+		err = cover.Verify(cv, graph.Complete(n))
 		method := "layered"
 		if optimal {
 			method = "search"
@@ -181,15 +214,19 @@ type T3Row struct {
 
 // TableT3 runs the certifications. proofLimit bounds the n for which the
 // (expensive, unbounded-cycle-length) infeasibility proof runs.
-func TableT3(ns []int, proofLimit int) []T3Row {
+func TableT3(ns []int, proofLimit int) ([]T3Row, error) {
 	var rows []T3Row
 	for _, n := range ns {
 		row := T3Row{N: n, Rho: cover.Rho(n)}
 		if n <= 9 {
 			_, row.FoundAtRho = construct.ExactOptimal(n, 6_000_000)
 		} else {
-			cv, opt := construct.Even(n) // even path uses the repair search
-			row.FoundAtRho = opt && cv.Size() == row.Rho
+			// Even path uses the repair search; served from the sweep cache.
+			res, err := allToAll(n)
+			if err != nil {
+				return nil, err
+			}
+			row.FoundAtRho = res.Optimal && res.Covering.Size() == row.Rho
 		}
 		if n <= proofLimit {
 			out := construct.Exact(n, construct.ExactOptions{
@@ -200,7 +237,7 @@ func TableT3(ns []int, proofLimit int) []T3Row {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderT3 formats the certification table.
@@ -305,10 +342,13 @@ type C2Row struct {
 }
 
 // TableC2 builds the objective comparison.
-func TableC2(ns []int) []C2Row {
+func TableC2(ns []int) ([]C2Row, error) {
 	var rows []C2Row
 	for _, n := range ns {
-		res, _ := construct.AllToAll(n)
+		res, err := allToAll(n)
+		if err != nil {
+			return nil, err
+		}
 		tri := baselines.DRCTriangleOnly(n)
 		rows = append(rows, C2Row{
 			N:            n,
@@ -319,7 +359,7 @@ func TableC2(ns []int) []C2Row {
 			SizeLB:       baselines.TotalSizeLowerBound(n),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderC2 formats the objective comparison.
@@ -385,11 +425,7 @@ type F2Row struct {
 func TableF2(ns []int, doubleLimit int) ([]F2Row, error) {
 	var rows []F2Row
 	for _, n := range ns {
-		res, err := construct.AllToAll(n)
-		if err != nil {
-			return nil, err
-		}
-		nw, err := wdm.Plan(res.Covering, graph.Complete(n))
+		nw, err := allToAllNetwork(n)
 		if err != nil {
 			return nil, err
 		}
@@ -459,11 +495,7 @@ type F3Row struct {
 func TableF3(ns []int) ([]F3Row, error) {
 	var rows []F3Row
 	for _, n := range ns {
-		res, err := construct.AllToAll(n)
-		if err != nil {
-			return nil, err
-		}
-		nw, err := wdm.Plan(res.Covering, graph.Complete(n))
+		nw, err := allToAllNetwork(n)
 		if err != nil {
 			return nil, err
 		}
@@ -506,18 +538,19 @@ type X1Row struct {
 // TableX1 sweeps λ for fixed sizes.
 func TableX1(ns []int, lambdas []int) ([]X1Row, error) {
 	var rows []X1Row
+	warm()
 	for _, n := range ns {
 		for _, l := range lambdas {
-			res, err := construct.Lambda(n, l)
+			in := instance.Lambda(n, l)
+			res, _, err := plans.Cover(in, cache.Options{})
 			if err != nil {
 				return nil, err
 			}
-			demand := instance.Lambda(n, l).Demand
 			rows = append(rows, X1Row{
 				N: n, Lambda: l,
 				Cycles: res.Covering.Size(),
-				Bound:  cover.InstanceLowerBound(res.Covering.Ring, demand),
-				Valid:  cover.Verify(res.Covering, demand) == nil,
+				Bound:  cover.InstanceLowerBound(res.Covering.Ring, in.Demand),
+				Valid:  cover.Verify(res.Covering, in.Demand) == nil,
 			})
 		}
 	}

@@ -58,7 +58,10 @@ func TestTableT2(t *testing.T) {
 }
 
 func TestTableT3(t *testing.T) {
-	rows := TableT3([]int{4, 5, 6}, 6)
+	rows, err := TableT3([]int{4, 5, 6}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if !r.FoundAtRho {
 			t.Errorf("n=%d: no covering found at ρ", r.N)
@@ -98,7 +101,10 @@ func TestTableC1(t *testing.T) {
 }
 
 func TestTableC2(t *testing.T) {
-	rows := TableC2([]int{5, 7, 9})
+	rows, err := TableC2([]int{5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.OurCycles > r.TriCycles {
 			t.Errorf("n=%d: optimal mix must not use more cycles than triangles-only", r.N)

@@ -9,8 +9,8 @@ import (
 // parallelMap evaluates f over ns with a bounded worker pool, preserving
 // input order in the result. The experiment sweeps are embarrassingly
 // parallel (one ring size per row), and the constructors are safe for
-// concurrent use (pure functions plus a mutex-guarded cache in
-// construct.Even), so the big tables scale with cores. workers ≤ 0 selects
+// concurrent use (pure functions behind the single-flighted sweep cache
+// in bench.go), so the big tables scale with cores. workers ≤ 0 selects
 // GOMAXPROCS.
 func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, error) {
 	if workers <= 0 {

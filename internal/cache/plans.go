@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"fmt"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/instance"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+// DefaultCapacity bounds each store of a Plans cache when no explicit
+// capacity is given: comfortably larger than any experiment sweep while
+// keeping worst-case residency (a few thousand cycles per large entry)
+// modest.
+const DefaultCapacity = 256
+
+// Plans memoizes verified coverings and planned WDM networks per instance
+// signature. It is safe for concurrent use; every covering handed out is
+// a private clone, so callers may canonicalize or extend their copy
+// without corrupting the cache, while cached *wdm.Network values are
+// shared and must be treated as read-only.
+type Plans struct {
+	coverings *Store
+	networks  *Store
+}
+
+// New returns a Plans cache bounding each store to capacity entries
+// (capacity ≤ 0 selects DefaultCapacity).
+func New(capacity int) *Plans {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Plans{coverings: NewStore(capacity), networks: NewStore(capacity)}
+}
+
+// CoverResult is a constructed covering plus provenance, mirroring
+// construct.Result.
+type CoverResult struct {
+	Covering *cover.Covering
+	Method   construct.Method
+	// Optimal reports that the covering provably has ρ(n) cycles.
+	Optimal bool
+}
+
+// PlansStats snapshots both stores.
+type PlansStats struct {
+	Coverings Stats `json:"coverings"`
+	Networks  Stats `json:"networks"`
+}
+
+// Stats returns the cache counters.
+func (p *Plans) Stats() PlansStats {
+	return PlansStats{Coverings: p.coverings.Stats(), Networks: p.networks.Stats()}
+}
+
+// Cover returns a verified covering of the instance, constructing it on
+// the first request and serving clones from the cache afterwards. hit
+// reports whether this call avoided construction (cache hit or joined
+// flight). The constructor is chosen by demand class: the paper's optimal
+// machinery for K_n, the λ-composition for λK_n, greedy otherwise.
+func (p *Plans) Cover(in instance.Instance, opts Options) (CoverResult, bool, error) {
+	sig := Signature(in, opts)
+	v, hit, err := p.coverings.Do(sig, func() (any, error) {
+		return buildCover(in, opts)
+	})
+	if err != nil {
+		return CoverResult{}, hit, err
+	}
+	res := v.(CoverResult)
+	// Clone on every exit so no two callers (nor the cache) share a
+	// mutable Cycles slice.
+	res.Covering = res.Covering.Clone()
+	return res, hit, nil
+}
+
+// CoverAllToAll is Cover for the all-to-all instance, keyed in O(1): the
+// demand graph is only materialized on a miss, so warm calls cost a
+// lookup and a clone.
+func (p *Plans) CoverAllToAll(n int, opts Options) (CoverResult, bool, error) {
+	sig := SignatureAllToAll(n, opts)
+	v, hit, err := p.coverings.Do(sig, func() (any, error) {
+		return buildCover(instance.AllToAll(n), opts)
+	})
+	if err != nil {
+		return CoverResult{}, hit, err
+	}
+	res := v.(CoverResult)
+	res.Covering = res.Covering.Clone()
+	return res, hit, nil
+}
+
+// NetworkAllToAll is Network for the all-to-all instance, keyed in O(1).
+func (p *Plans) NetworkAllToAll(n int, opts Options) (*wdm.Network, bool, error) {
+	sig := SignatureAllToAll(n, opts)
+	v, hit, err := p.networks.Do(sig, func() (any, error) {
+		in := instance.AllToAll(n)
+		res, _, err := p.CoverAllToAll(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		return wdm.Plan(res.Covering, in.Demand)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*wdm.Network), hit, nil
+}
+
+// Network returns the planned WDM network for the instance, cached under
+// the same signature scheme. The returned network is shared across
+// callers and must not be mutated.
+func (p *Plans) Network(in instance.Instance, opts Options) (*wdm.Network, bool, error) {
+	sig := Signature(in, opts)
+	v, hit, err := p.networks.Do(sig, func() (any, error) {
+		res, _, err := p.Cover(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		return wdm.Plan(res.Covering, in.Demand)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*wdm.Network), hit, nil
+}
+
+// buildCover constructs and verifies a covering for the instance. Only
+// verified coverings may enter the cache: an artifact that fails the
+// independent verifier is dropped with an error rather than memoized.
+func buildCover(in instance.Instance, opts Options) (CoverResult, error) {
+	n := in.N()
+	r, err := ring.New(n)
+	if err != nil {
+		return CoverResult{}, err
+	}
+	var res CoverResult
+	if lam, ok := lambdaClass(in.Demand); ok {
+		var cres construct.Result
+		var err error
+		if lam == 1 {
+			cres, err = construct.AllToAll(n)
+		} else {
+			cres, err = construct.Lambda(n, lam)
+		}
+		if err != nil {
+			return CoverResult{}, err
+		}
+		res = CoverResult{Covering: cres.Covering, Method: cres.Method, Optimal: cres.Optimal}
+	} else {
+		res = CoverResult{Covering: construct.Greedy(r, in.Demand), Method: construct.MethodGreedy}
+	}
+	if opts.EliminateRedundant {
+		construct.EliminateRedundant(res.Covering, in.Demand)
+		// Redundancy elimination may shrink to ρ(n) but proves nothing;
+		// keep the constructor's optimality claim only.
+	}
+	if err := cover.Verify(res.Covering, in.Demand); err != nil {
+		return CoverResult{}, fmt.Errorf("cache: refusing to cache unverified covering: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+// Package cache memoizes verified coverings and planned WDM networks so
+// that long-running callers — the cycled service, the Planner facade and
+// the experiment sweeps — compute each instance once and serve every
+// repeat from memory.
+//
+// Results are keyed by a canonical instance signature (ring size, demand
+// class, construction options), bounded by an LRU policy, and deduplicated
+// in flight: concurrent requests for the same signature trigger exactly
+// one computation, with every waiter receiving the same result. Only
+// artifacts that pass the independent verifier are admitted to the cache,
+// so a cached answer carries the same guarantee as a fresh one. See
+// DESIGN.md §5 for the full semantics.
+package cache
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/instance"
+)
+
+// Options select construction variants. Options are part of the cache key:
+// the same demand planned under different options occupies distinct
+// entries.
+type Options struct {
+	// EliminateRedundant runs the redundancy-elimination optimiser on the
+	// constructed covering before it is verified and cached.
+	EliminateRedundant bool
+}
+
+// Signature returns the canonical cache key for an instance under the
+// given options. Two instances with the same ring size and the same
+// demand multigraph share a signature regardless of how they were built
+// or named: recognised classes (λK_n, including K_n as λ=1) get a compact
+// readable form, everything else a content hash of the edge multiset.
+func Signature(in instance.Instance, opts Options) string {
+	if lam, ok := lambdaClass(in.Demand); ok {
+		return SignatureLambda(in.N(), lam, opts)
+	}
+	return withOptions(fmt.Sprintf("n=%d;d=h%016x", in.N(), demandHash(in.Demand)), opts)
+}
+
+// SignatureAllToAll is Signature(instance.AllToAll(n), opts) computed in
+// O(1), without materializing the demand graph. Hot callers (the Planner
+// facade, the experiment sweeps) key their lookups with it.
+func SignatureAllToAll(n int, opts Options) string { return SignatureLambda(n, 1, opts) }
+
+// SignatureLambda is Signature(instance.Lambda(n, lambda), opts) in O(1).
+func SignatureLambda(n, lambda int, opts Options) string {
+	return withOptions(fmt.Sprintf("n=%d;d=k%d", n, lambda), opts)
+}
+
+func withOptions(sig string, opts Options) string {
+	if opts.EliminateRedundant {
+		sig += ";o=er"
+	}
+	return sig
+}
+
+// lambdaClass reports whether g is λK_n for some uniform λ ≥ 1.
+func lambdaClass(g *graph.Graph) (int, bool) {
+	n := g.N()
+	pairs := n * (n - 1) / 2
+	if pairs == 0 || g.DistinctEdges() != pairs || g.M()%pairs != 0 {
+		return 0, false
+	}
+	lam := g.M() / pairs
+	for _, e := range g.Edges() {
+		if g.Multiplicity(e.U, e.V) != lam {
+			return 0, false
+		}
+	}
+	return lam, true
+}
+
+// demandHash is an FNV-1a fingerprint of the sorted edge multiset. Edges()
+// is deterministic, so equal multigraphs hash equally.
+func demandHash(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v int) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	write(g.N())
+	for _, e := range g.Edges() {
+		write(e.U)
+		write(e.V)
+		write(g.Multiplicity(e.U, e.V))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/instance"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New(32)
+	for _, n := range []int{7, 8, 12} {
+		if _, _, err := src.CoverAllToAll(n, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := src.Cover(instance.Lambda(7, 2), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Hash-class and non-default-option entries must not round-trip.
+	if _, _, err := src.Cover(instance.Hub(9, 0), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.CoverAllToAll(9, Options{EliminateRedundant: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "o=er") || strings.Contains(s, "d=h") {
+		t.Fatalf("snapshot leaked non-persistable entries: %s", s)
+	}
+
+	dst := New(32)
+	loaded, skipped, err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 4 || skipped != 0 {
+		t.Fatalf("loaded %d skipped %d, want 4/0", loaded, skipped)
+	}
+	// Warm hits, identical results, no recomputation.
+	for _, n := range []int{7, 8, 12} {
+		res, hit, err := dst.CoverAllToAll(n, Options{})
+		if err != nil || !hit {
+			t.Fatalf("n=%d after load: hit=%v err=%v", n, hit, err)
+		}
+		fresh, _, _ := src.CoverAllToAll(n, Options{})
+		if res.Covering.Size() != fresh.Covering.Size() || res.Optimal != fresh.Optimal {
+			t.Fatalf("n=%d: snapshot entry drifted", n)
+		}
+		if err := cover.Verify(res.Covering, instance.AllToAll(n).Demand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := dst.Stats(); st.Coverings.Misses != 0 {
+		t.Fatalf("warm start still computed: %+v", st)
+	}
+}
+
+// TestSnapshotRejectsTamperedEntries proves a snapshot cannot inject bad
+// results: broken coverings and false optimality claims are dropped.
+func TestSnapshotRejectsTamperedEntries(t *testing.T) {
+	src := New(8)
+	if _, _, err := src.CoverAllToAll(9, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Version   int `json:"version"`
+		Coverings []struct {
+			N       int     `json:"n"`
+			Lambda  int     `json:"lambda"`
+			Method  string  `json:"method"`
+			Optimal bool    `json:"optimal"`
+			Cycles  [][]int `json:"cycles"`
+		} `json:"coverings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func()) (loaded, skipped int) {
+		orig := file.Coverings[0].Cycles
+		defer func() { file.Coverings[0].Cycles = orig; file.Coverings[0].Optimal = true }()
+		f()
+		raw, err := json.Marshal(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := New(8)
+		loaded, skipped, err = dst.LoadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loaded, skipped
+	}
+
+	// Drop a cycle: the covering misses demand edges → rejected.
+	if loaded, skipped := mutate(func() {
+		file.Coverings[0].Cycles = file.Coverings[0].Cycles[1:]
+	}); loaded != 0 || skipped != 1 {
+		t.Fatalf("incomplete covering admitted: loaded=%d skipped=%d", loaded, skipped)
+	}
+	// Inflate the covering while claiming optimality → ρ check rejects.
+	if loaded, skipped := mutate(func() {
+		file.Coverings[0].Cycles = append(file.Coverings[0].Cycles, file.Coverings[0].Cycles[0])
+	}); loaded != 0 || skipped != 1 {
+		t.Fatalf("false optimality claim admitted: loaded=%d skipped=%d", loaded, skipped)
+	}
+	// Corrupt a cycle beyond reconstruction → rejected.
+	if loaded, skipped := mutate(func() {
+		file.Coverings[0].Cycles[0] = []int{0, 0}
+	}); loaded != 0 || skipped != 1 {
+		t.Fatalf("malformed cycle admitted: loaded=%d skipped=%d", loaded, skipped)
+	}
+
+	// Wrong version is a hard error.
+	raw, _ := json.Marshal(map[string]any{"version": 99})
+	if _, _, err := New(8).LoadSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+	// Garbage is a hard error.
+	if _, _, err := New(8).LoadSnapshot(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Store is a bounded memoization table: an LRU map joined with a
+// single-flight group. Do serves repeated keys from memory and collapses
+// concurrent misses for one key onto a single computation. Errors are
+// never cached — a failed computation is reported to every waiter and the
+// next request retries.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // most-recent first
+	items    map[string]*list.Element // key → *entry element
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type call struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// Stats counts cache traffic. Hits are LRU hits; Coalesced are requests
+// that joined an in-flight computation; Misses are computations actually
+// run; Evictions are LRU removals.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// NewStore returns a store bounded to capacity entries (capacity ≥ 1).
+func NewStore(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Do returns the cached value for key, computing it with compute on a
+// miss. hit reports whether the value was served without running compute
+// in this call (an LRU hit, or a join onto another caller's in-flight
+// computation). Successful results are inserted at the front of the LRU.
+func (s *Store) Do(key string, compute func() (any, error)) (val any, hit bool, err error) {
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		v := el.Value.(*entry).val
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	c.val, c.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.add(key, c.val)
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Put inserts a value directly, as if computed. Used by snapshot loading.
+func (s *Store) Put(key string, val any) {
+	s.mu.Lock()
+	s.add(key, val)
+	s.mu.Unlock()
+}
+
+// Each calls f for every resident entry, from most to least recently
+// used, holding the store lock: f must not call back into the store.
+func (s *Store) Each(f func(key string, val any)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		f(e.key, e.val)
+	}
+}
+
+// Get returns the cached value without computing, refreshing recency.
+func (s *Store) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// add inserts (or refreshes) key at the front, evicting the tail when the
+// bound is exceeded. Caller holds s.mu.
+func (s *Store) add(key string, val any) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, val: val})
+	for s.ll.Len() > s.capacity {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}

@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStoreHitMissAndRecency(t *testing.T) {
+	s := NewStore(2)
+	compute := func(v int) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	if v, hit, _ := s.Do("a", compute(1)); hit || v.(int) != 1 {
+		t.Fatalf("first Do(a) = (%v, hit=%v), want (1, miss)", v, hit)
+	}
+	if v, hit, _ := s.Do("a", compute(99)); !hit || v.(int) != 1 {
+		t.Fatalf("second Do(a) = (%v, hit=%v), want cached (1, hit)", v, hit)
+	}
+	s.Do("b", compute(2))
+	s.Do("a", compute(0)) // refresh a's recency
+	s.Do("c", compute(3)) // evicts b, the least recently used
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order not respected")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently-used a was evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestStoreErrorsAreNotCached(t *testing.T) {
+	s := NewStore(4)
+	boom := errors.New("boom")
+	calls := 0
+	f := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := s.Do("k", f); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := s.Do("k", f)
+	if err != nil || hit || v.(string) != "ok" {
+		t.Fatalf("retry = (%v, hit=%v, err=%v), want fresh ok", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestStoreSingleFlightStampede floods one key from many goroutines while
+// the first computation is deliberately held open, and asserts exactly one
+// compute ran with every other request coalescing onto it.
+func TestStoreSingleFlightStampede(t *testing.T) {
+	const waiters = 100
+	s := NewStore(8)
+	gate := make(chan struct{})
+	var computes atomic.Int64
+
+	results := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.Do("stampede", func() (any, error) {
+				computes.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- v.(int)
+		}()
+	}
+	// Release the gate only once every other goroutine has either become
+	// the computing call or registered as coalesced, so the stampede is a
+	// true stampede and not a sequence of cache hits.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Misses+st.Coalesced == waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stampede never converged: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under stampede, want exactly 1", got)
+	}
+	for v := range results {
+		if v != 42 {
+			t.Fatalf("waiter got %d, want 42", v)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Coalesced != waiters-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d coalesced", st, waiters-1)
+	}
+}
+
+func TestStoreCapacityFloor(t *testing.T) {
+	s := NewStore(0) // clamped to 1
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		s.Do(k, func() (any, error) { return i, nil })
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("len = %d, want 1", n)
+	}
+}

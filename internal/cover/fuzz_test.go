@@ -1,0 +1,131 @@
+package cover
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// FuzzVerify fuzzes the verifier against an independently recomputed
+// ground truth: Verify must never accept a covering that misses a demand
+// edge, and never accept a cycle that breaks the disjoint-routing
+// constraint (checked here by explicit link-occupancy bookkeeping, not by
+// the verifier's own Arc.Disjoint machinery). Conversely, a covering
+// whose cycles were all built against the right ring and that covers the
+// demand must be accepted.
+//
+// Cycles are decoded from cycleBytes as [header, v1..vk] records. To
+// reach the rejection paths at all (NewCycle canonicalizes honest input
+// into ring order, which the structure theorem proves DRC-routable), some
+// records build their cycle against an adversarial ring of a different
+// size m: sorted by the wrong ring's order, the vertex sequence can
+// violate ring order on the real ring — or leave it entirely.
+func FuzzVerify(f *testing.F) {
+	f.Add(uint8(4), []byte{3, 0, 1, 2, 3, 0, 2, 3, 4, 0, 1, 2, 3}, []byte{0, 1, 1, 2, 0, 2}, uint8(4))
+	f.Add(uint8(2), []byte{131, 0, 2, 4, 3, 1, 2, 3}, []byte{0, 4, 2, 3}, uint8(9))
+	f.Add(uint8(14), []byte{4, 0, 4, 8, 12, 3, 1, 2, 3}, []byte{0, 8}, uint8(2))
+	f.Add(uint8(0), []byte{}, []byte{0, 1}, uint8(0))
+	f.Add(uint8(7), []byte{133, 9, 3, 7, 1, 5, 3, 0, 1, 2}, []byte{5, 9, 1, 3}, uint8(17))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, cycleBytes, demandBytes []byte, altRaw uint8) {
+		n := 3 + int(nRaw)%18 // ring sizes 3..20
+		m := 3 + int(altRaw)%18
+		r := ring.MustNew(n)
+		alt := ring.MustNew(m)
+
+		cv := NewCovering(r)
+		honest := true // no cycle came from the adversarial ring
+		for i := 0; i < len(cycleBytes); {
+			h := cycleBytes[i]
+			k := 3 + int(h&0x7f)%4 // cycle length 3..6
+			useAlt := h&0x80 != 0
+			i++
+			if i+k > len(cycleBytes) {
+				break
+			}
+			build := r
+			if useAlt {
+				build = alt
+			}
+			verts := make([]int, k)
+			for j := 0; j < k; j++ {
+				verts[j] = int(cycleBytes[i+j]) % build.N()
+			}
+			i += k
+			c, err := NewCycle(build, verts...)
+			if err != nil {
+				continue // duplicate vertices etc.: not a covering problem
+			}
+			if useAlt {
+				honest = false
+			}
+			cv.Add(c)
+		}
+
+		demand := graph.New(n)
+		for j := 0; j+1 < len(demandBytes); j += 2 {
+			u, v := int(demandBytes[j])%n, int(demandBytes[j+1])%n
+			if u != v {
+				demand.AddEdge(u, v)
+			}
+		}
+
+		verdict := Verify(cv, demand)
+
+		// Ground truth 1 — coverage: count covered pairs directly.
+		covered := make(map[graph.Edge]int)
+		for _, c := range cv.Cycles {
+			for _, p := range c.Pairs() {
+				covered[p]++
+			}
+		}
+		missing := false
+		for _, e := range demand.Edges() {
+			if covered[e] < demand.Multiplicity(e.U, e.V) {
+				missing = true
+				break
+			}
+		}
+
+		// Ground truth 2 — DRC: walk every cycle's canonical routing and
+		// mark the ring links each arc occupies. A DRC cycle must use each
+		// link exactly once in total.
+		drcOK := true
+		for _, c := range cv.Cycles {
+			inRange := true
+			for _, v := range c.Vertices() {
+				if v >= n {
+					inRange = false
+				}
+			}
+			if !inRange {
+				drcOK = false
+				continue
+			}
+			used := make([]int, r.Links())
+			for _, a := range c.Arcs(r) {
+				for _, l := range a.Links(r) {
+					used[int(l)]++
+				}
+			}
+			for _, u := range used {
+				if u != 1 {
+					drcOK = false
+					break
+				}
+			}
+		}
+
+		if verdict == nil && missing {
+			t.Fatalf("Verify accepted a covering missing a demand edge (n=%d, cycles=%v)", n, cv.Cycles)
+		}
+		if verdict == nil && !drcOK {
+			t.Fatalf("Verify accepted a DRC-violating covering (n=%d, cycles=%v)", n, cv.Cycles)
+		}
+		// Completeness: honest, covering, DRC-clean input must be accepted.
+		if honest && !missing && drcOK && verdict != nil {
+			t.Fatalf("Verify rejected a valid covering: %v (n=%d, cycles=%v)", verdict, n, cv.Cycles)
+		}
+	})
+}

@@ -24,6 +24,23 @@ func (cv *Covering) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// FromVertexSets builds a covering over r from raw cycle vertex sets,
+// naming the first offending cycle on failure. It is the shared
+// reconstruction path for every deserialized covering (JSON interchange,
+// cache snapshots, the /verify endpoint), so validation stays in one
+// place.
+func FromVertexSets(r ring.Ring, sets [][]int) (*Covering, error) {
+	cv := NewCovering(r)
+	for i, verts := range sets {
+		c, err := NewCycle(r, verts...)
+		if err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", i, err)
+		}
+		cv.Add(c)
+	}
+	return cv, nil
+}
+
 // UnmarshalJSON decodes and validates a covering: the ring size must be
 // admissible and every cycle a valid DRC cycle (≥3 distinct vertices on
 // the ring).
@@ -36,14 +53,10 @@ func (cv *Covering) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("cover: decoding covering: %w", err)
 	}
-	decoded := Covering{Ring: r}
-	for i, verts := range in.Cycles {
-		c, err := NewCycle(r, verts...)
-		if err != nil {
-			return fmt.Errorf("cover: decoding cycle %d: %w", i, err)
-		}
-		decoded.Cycles = append(decoded.Cycles, c)
+	decoded, err := FromVertexSets(r, in.Cycles)
+	if err != nil {
+		return fmt.Errorf("cover: decoding %w", err)
 	}
-	*cv = decoded
+	*cv = *decoded
 	return nil
 }

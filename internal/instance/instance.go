@@ -9,6 +9,8 @@ package instance
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"github.com/cyclecover/cyclecover/internal/graph"
 )
@@ -80,6 +82,55 @@ func RandomSymmetric(n int, density float64, seed int64) Instance {
 	return Instance{
 		Name:   fmt.Sprintf("random(n=%d, d=%.2f, seed=%d)", n, density, seed),
 		Demand: g,
+	}
+}
+
+// MaxParseLambda bounds the λ accepted by Parse. Untrusted specs reach
+// Parse (the cycled service feeds it query parameters), and an absurd λ
+// would overflow the demand's edge count — m = λ·n(n−1)/2 wrapping
+// negative defeats any downstream size guard — before any construction
+// bound can apply.
+const MaxParseLambda = 1 << 20
+
+// Parse builds an instance from a compact demand spec, the shared wire
+// format of the CLI tools and the cycled service:
+//
+//	alltoall                 the total exchange K_n
+//	lambda:<k>               λK_n with λ = k ≥ 1
+//	hub:<node>               all nodes to one hub in [0, n)
+//	neighbors                ring-adjacent pairs only
+//	random:<density>:<seed>  reproducible random symmetric demand
+func Parse(n int, spec string) (Instance, error) {
+	switch {
+	case spec == "alltoall":
+		return AllToAll(n), nil
+	case spec == "neighbors":
+		return Neighbors(n), nil
+	case strings.HasPrefix(spec, "lambda:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "lambda:"))
+		if err != nil || k < 1 || k > MaxParseLambda {
+			return Instance{}, fmt.Errorf("bad lambda spec %q", spec)
+		}
+		return Lambda(n, k), nil
+	case strings.HasPrefix(spec, "hub:"):
+		h, err := strconv.Atoi(strings.TrimPrefix(spec, "hub:"))
+		if err != nil || h < 0 || h >= n {
+			return Instance{}, fmt.Errorf("bad hub spec %q", spec)
+		}
+		return Hub(n, h), nil
+	case strings.HasPrefix(spec, "random:"):
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return Instance{}, fmt.Errorf("bad random spec %q (want random:<density>:<seed>)", spec)
+		}
+		d, err1 := strconv.ParseFloat(parts[1], 64)
+		s, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return Instance{}, fmt.Errorf("bad random spec %q", spec)
+		}
+		return RandomSymmetric(n, d, s), nil
+	default:
+		return Instance{}, fmt.Errorf("unknown demand %q", spec)
 	}
 }
 

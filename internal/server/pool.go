@@ -1,0 +1,200 @@
+// Package server exposes the planner over HTTP/JSON: /plan and /verify
+// for the work itself, /healthz and /metrics for operations. Requests are
+// executed by a bounded worker pool that batches same-signature requests
+// — while a signature is queued or running, later requests for it attach
+// to the existing job instead of occupying another worker — and results
+// are memoized by the covering cache, so a burst of identical traffic
+// costs one construction. See DESIGN.md §5.
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("server: worker pool closed")
+
+// ErrNotScheduled is what coalesced waiters receive when the submitter
+// that owned their job gave up (its context fired) before the job
+// reached a worker. It is retryable: the waiter's own context is intact.
+var ErrNotScheduled = errors.New("server: job abandoned before reaching a worker")
+
+// Pool is a bounded worker pool with same-signature batching. At most
+// `workers` jobs run at once and at most `queue` more wait; every
+// additional submission either attaches to a pending job with the same
+// signature or blocks until queue space frees.
+type Pool struct {
+	jobs chan *poolJob
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	pending   map[string]*poolJob // queued or running, by signature
+	closed    bool
+	executed  uint64
+	coalesced uint64
+}
+
+type poolJob struct {
+	sig  string
+	run  func() (any, error)
+	done chan struct{}
+	val  any
+	err  error
+	// finalized guards done against double close when a submitter's
+	// failure path races Close's orphan sweep. Guarded by Pool.mu.
+	finalized bool
+}
+
+// NewPool starts a pool with the given worker count and queue bound.
+// workers ≤ 0 selects GOMAXPROCS; queue 0 selects 64, negative selects
+// an unbuffered queue.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case queue == 0:
+		queue = 64
+	case queue < 0:
+		queue = 0
+	}
+	p := &Pool{
+		jobs:    make(chan *poolJob, queue),
+		quit:    make(chan struct{}),
+		pending: make(map[string]*poolJob),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit runs fn on the pool and returns its result, attaching to an
+// already-pending job when one with the same signature exists. It blocks
+// until the result is ready, ctx is done, or the pool closes. A job that
+// reached a worker keeps running for every attached waiter even if its
+// submitter gives up; a job abandoned before reaching a worker fails its
+// waiters with ErrNotScheduled (never with the submitter's context
+// error, which is not theirs).
+func (p *Pool) Submit(ctx context.Context, sig string, fn func() (any, error)) (any, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if j, ok := p.pending[sig]; ok {
+		p.coalesced++
+		p.mu.Unlock()
+		return p.await(ctx, j)
+	}
+	j := &poolJob{sig: sig, run: fn, done: make(chan struct{})}
+	p.pending[sig] = j
+	p.mu.Unlock()
+
+	select {
+	case p.jobs <- j:
+		return p.await(ctx, j)
+	case <-ctx.Done():
+		p.fail(j, ErrNotScheduled)
+		return nil, ctx.Err()
+	case <-p.quit:
+		p.fail(j, ErrPoolClosed)
+		return nil, ErrPoolClosed
+	}
+}
+
+// await waits for j to finish or for the caller to give up.
+func (p *Pool) await(ctx context.Context, j *poolJob) (any, error) {
+	select {
+	case <-j.done:
+		return j.val, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// fail finalises a job that never reached a worker, releasing any waiters
+// that attached while it sat in pending. Idempotent: a submitter's quit/
+// cancel path and Close's orphan sweep may both reach the same job.
+func (p *Pool) fail(j *poolJob, err error) {
+	p.mu.Lock()
+	if j.finalized {
+		p.mu.Unlock()
+		return
+	}
+	j.finalized = true
+	if p.pending[j.sig] == j {
+		delete(p.pending, j.sig)
+	}
+	p.mu.Unlock()
+	j.err = err
+	close(j.done)
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case j := <-p.jobs:
+			j.val, j.err = j.run()
+			p.mu.Lock()
+			j.finalized = true
+			if p.pending[j.sig] == j {
+				delete(p.pending, j.sig)
+			}
+			p.executed++
+			p.mu.Unlock()
+			close(j.done)
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Close stops the workers and fails every unfinished job. Callers should
+// drain in-flight HTTP traffic (http.Server.Shutdown) before closing the
+// pool so no handler is left waiting.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+	// Every job that never ran — queued in the channel, or inserted by a
+	// Submit racing this Close and possibly stranded mid-send — is still
+	// in pending (workers remove jobs only when they finish them, and all
+	// workers have exited). Fail them all; fail is idempotent against the
+	// racing submitter's own quit path.
+	p.mu.Lock()
+	orphans := make([]*poolJob, 0, len(p.pending))
+	for _, j := range p.pending {
+		orphans = append(orphans, j)
+	}
+	p.mu.Unlock()
+	for _, j := range orphans {
+		p.fail(j, ErrPoolClosed)
+	}
+}
+
+// PoolStats reports pool traffic: jobs executed by workers and
+// submissions batched onto an existing job.
+type PoolStats struct {
+	Executed  uint64 `json:"executed"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Executed: p.executed, Coalesced: p.coalesced}
+}

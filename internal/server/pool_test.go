@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBoundedConcurrency proves no more than `workers` jobs ever run
+// at once.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers = 2
+	p := NewPool(workers, 64)
+	defer p.Close()
+
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := p.Submit(context.Background(), fmt.Sprintf("job-%d", i), func() (any, error) {
+				now := running.Add(1)
+				for {
+					old := peak.Load()
+					if now <= old || peak.CompareAndSwap(old, now) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+				return i, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", got, workers)
+	}
+	if st := p.Stats(); st.Executed != 20 {
+		t.Fatalf("executed = %d, want 20", st.Executed)
+	}
+}
+
+// TestPoolCoalescesSameSignature holds one job open and floods its
+// signature: exactly one execution, everyone gets its result.
+func TestPoolCoalescesSameSignature(t *testing.T) {
+	p := NewPool(4, 64)
+	defer p.Close()
+
+	const waiters = 32
+	gate := make(chan struct{})
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := p.Submit(context.Background(), "same", func() (any, error) {
+				executions.Add(1)
+				<-gate
+				return "result", nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v.(string) != "result" {
+				errs <- fmt.Errorf("got %v", v)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Coalesced < waiters-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stampede never coalesced: %+v", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("job ran %d times, want 1", got)
+	}
+}
+
+func TestPoolSubmitHonorsContext(t *testing.T) {
+	p := NewPool(1, -1) // unbuffered: the second submit must queue behind the blocker
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), "blocker", func() (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started // the only worker is now occupied
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := p.Submit(ctx, "waits-forever", func() (any, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	close(block)
+}
+
+// TestPoolAbandonedJobFailsWaitersWithErrNotScheduled: when the
+// submitter that owns a never-scheduled job cancels, coalesced waiters
+// must not inherit its context error.
+func TestPoolAbandonedJobFailsWaitersWithErrNotScheduled(t *testing.T) {
+	p := NewPool(1, -1) // one worker, unbuffered queue
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Submit(context.Background(), "blocker", func() (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	defer close(block)
+
+	// A: owns job "x", stuck sending to the full queue.
+	actx, acancel := context.WithCancel(context.Background())
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(actx, "x", func() (any, error) { return nil, nil })
+		aErr <- err
+	}()
+	// B: coalesces onto A's pending job.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Coalesced == 0 {
+		bReady := func() bool { p.mu.Lock(); defer p.mu.Unlock(); _, ok := p.pending["x"]; return ok }()
+		if bReady {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job x never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bErr := make(chan error, 1)
+	go func() {
+		_, err := p.Submit(context.Background(), "x", func() (any, error) { return nil, nil })
+		bErr <- err
+	}()
+	for p.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("B never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	acancel()
+	if err := <-aErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("submitter err = %v, want its own context.Canceled", err)
+	}
+	if err := <-bErr; !errors.Is(err, ErrNotScheduled) {
+		t.Fatalf("waiter err = %v, want ErrNotScheduled", err)
+	}
+}
+
+func TestPoolCloseFailsPending(t *testing.T) {
+	p := NewPool(1, 8)
+	release := make(chan struct{})
+	go p.Submit(context.Background(), "running", func() (any, error) {
+		<-release
+		return nil, nil
+	})
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	p.Close()
+	if _, err := p.Submit(context.Background(), "late", func() (any, error) { return nil, nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

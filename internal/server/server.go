@@ -1,0 +1,445 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/cyclecover/cyclecover/internal/cache"
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/instance"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+// defaultCost prices a network with the package-default cost model.
+func defaultCost(nw *wdm.Network) float64 { return wdm.DefaultCostModel.Cost(nw) }
+
+// MaxRingSize bounds the ring sizes the service accepts. The demand
+// graph and covering are Θ(n²), so n must be validated before any
+// instance is materialized — and building K_n for an attacker-chosen n
+// would otherwise happen on the handler goroutine, outside the pool's
+// admission control.
+const MaxRingSize = 1024
+
+// MaxRequests bounds a demand's request count (with multiplicity):
+// covering size and response size scale with it, so an in-range n
+// combined with a huge λ (demand=lambda:<big>) must still be rejected
+// before construction. K_MaxRingSize fits; λ ≥ 2 at the largest rings
+// does not.
+const MaxRequests = 1 << 20
+
+// maxVerifyBody bounds the /verify request body; a valid covering for
+// MaxRingSize fits comfortably.
+const maxVerifyBody = 8 << 20
+
+// checkRingSize validates n before anything Θ(n²) is built from it.
+func checkRingSize(n int) error {
+	if _, err := ring.New(n); err != nil {
+		return err
+	}
+	if n > MaxRingSize {
+		return fmt.Errorf("server: ring size %d exceeds limit %d", n, MaxRingSize)
+	}
+	return nil
+}
+
+// checkDemandSize validates a parsed instance's total workload. A
+// negative count means the multiplicity sum overflowed, which is as
+// oversized as it gets.
+func checkDemandSize(in instance.Instance) error {
+	if m := in.Requests(); m > MaxRequests || m < 0 {
+		return fmt.Errorf("server: demand has %d requests, limit %d", m, MaxRequests)
+	}
+	return nil
+}
+
+// isAllToAll reports whether the demand is K_n with multiplicity one —
+// the class ρ(n) speaks about. Keyed on the demand itself, not on the
+// spec string, so demand=lambda:1 and demand=alltoall answer alike (they
+// share a cache entry too).
+func isAllToAll(in instance.Instance) bool {
+	n := in.N()
+	pairs := n * (n - 1) / 2
+	return in.Demand.DistinctEdges() == pairs && in.Demand.M() == pairs
+}
+
+// Config sizes a Server. Zero values select sensible defaults.
+type Config struct {
+	// CacheSize bounds each store of the covering cache (0 →
+	// cache.DefaultCapacity).
+	CacheSize int
+	// Workers bounds concurrent plan computations (0 → GOMAXPROCS).
+	Workers int
+	// Queue bounds plan computations waiting for a worker (0 → 64,
+	// negative → unbuffered).
+	Queue int
+}
+
+// Server is the planner service: HTTP handlers over a covering cache and
+// a bounded worker pool. Create with New, expose with Handler, stop with
+// Close (after draining HTTP traffic).
+type Server struct {
+	plans *cache.Plans
+	pool  *Pool
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]uint64 // per-endpoint served count
+}
+
+// New builds a ready-to-serve planner service.
+func New(cfg Config) *Server {
+	s := &Server{
+		plans:    cache.New(cfg.CacheSize),
+		pool:     NewPool(cfg.Workers, cfg.Queue),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		requests: make(map[string]uint64),
+	}
+	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/verify", s.handleVerify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Plans exposes the covering cache (shared with any embedding process).
+func (s *Server) Plans() *cache.Plans { return s.plans }
+
+// Close stops the worker pool. Drain HTTP traffic first.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) count(path string) {
+	s.mu.Lock()
+	s.requests[path]++
+	s.mu.Unlock()
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// planResponse is the JSON shape of a successful /plan.
+type planResponse struct {
+	Signature   string  `json:"signature"`
+	N           int     `json:"n"`
+	Demand      string  `json:"demand"`
+	Size        int     `json:"size"`
+	Rho         int     `json:"rho,omitempty"` // all-to-all demands only
+	Optimal     bool    `json:"optimal"`
+	Method      string  `json:"method"`
+	Cycles      [][]int `json:"cycles"`
+	Wavelengths int     `json:"wavelengths"`
+	ADMs        int     `json:"adms"`
+	MaxTransit  int     `json:"maxTransit"`
+	Cost        float64 `json:"cost"`
+	CacheHit    bool    `json:"cacheHit"`
+}
+
+// planned bundles what one pool job computes.
+type planned struct {
+	res cache.CoverResult
+	nw  *wdmNetwork
+	hit bool
+}
+
+// wdmNetwork is the slice of network facts the response needs; computed
+// inside the job so handlers never touch the shared *wdm.Network
+// concurrently with encoding.
+type wdmNetwork struct {
+	wavelengths int
+	adms        int
+	maxTransit  int
+	cost        float64
+}
+
+// handlePlan serves GET/POST /plan?n=<int>&demand=<spec>. The covering
+// and its WDM plan are computed through the worker pool and covering
+// cache; the X-Cache header reports HIT when the plan came from memory.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.count("/plan")
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	nStr := r.FormValue("n")
+	if nStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter n")
+		return
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad n %q: %v", nStr, err)
+		return
+	}
+	if err := checkRingSize(n); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec := r.FormValue("demand")
+	if spec == "" {
+		spec = "alltoall"
+	}
+	in, err := instance.Parse(n, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkDemandSize(in); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	opts := cache.Options{}
+	sig := cache.Signature(in, opts)
+	v, err := s.pool.Submit(r.Context(), sig, func() (any, error) {
+		res, coverHit, err := s.plans.Cover(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		nw, netHit, err := s.plans.Network(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		return planned{
+			res: res,
+			nw: &wdmNetwork{
+				wavelengths: nw.Wavelengths(),
+				adms:        nw.ADMCount(),
+				maxTransit:  nw.MaxTransit(),
+				cost:        defaultCost(nw),
+			},
+			hit: coverHit && netHit,
+		}, nil
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "plan failed: %v", err)
+		return
+	}
+	pl := v.(planned)
+
+	resp := planResponse{
+		Signature:   sig,
+		N:           n,
+		Demand:      in.Name,
+		Size:        pl.res.Covering.Size(),
+		Optimal:     pl.res.Optimal,
+		Method:      string(pl.res.Method),
+		Wavelengths: pl.nw.wavelengths,
+		ADMs:        pl.nw.adms,
+		MaxTransit:  pl.nw.maxTransit,
+		Cost:        pl.nw.cost,
+		CacheHit:    pl.hit,
+	}
+	if isAllToAll(in) {
+		resp.Rho = cover.Rho(n)
+	}
+	for _, c := range pl.res.Covering.Cycles {
+		resp.Cycles = append(resp.Cycles, c.Vertices())
+	}
+	if pl.hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verifyRequest is the JSON body of POST /verify: a covering in the
+// interchange form of internal/cover plus a demand spec.
+type verifyRequest struct {
+	N      int     `json:"n"`
+	Cycles [][]int `json:"cycles"`
+	Demand string  `json:"demand"` // spec; empty means alltoall
+}
+
+// verifyResponse reports the verdict. Invalid coverings answer 422 with
+// Valid=false and the verifier's reason; malformed requests answer 400.
+type verifyResponse struct {
+	Valid   bool   `json:"valid"`
+	Size    int    `json:"size"`
+	Rho     int    `json:"rho,omitempty"`
+	Optimal bool   `json:"optimal"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.count("/verify")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req verifyRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxVerifyBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "verify body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading verify request: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad verify request: %v", err)
+		return
+	}
+	if err := checkRingSize(req.N); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec := req.Demand
+	if spec == "" {
+		spec = "alltoall"
+	}
+	in, err := instance.Parse(req.N, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkDemandSize(in); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rg, err := ring.New(req.N)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Verification is Θ(n²)-ish work, so it runs through the same pool
+	// admission control as /plan. The signature hashes the request body:
+	// identical concurrent verifications coalesce, distinct ones just
+	// queue for a worker slot. The hash must be collision-resistant —
+	// coalescing hands one caller another's verdict, so a forgeable hash
+	// would let a crafted body inherit a different covering's result.
+	sig := fmt.Sprintf("verify:%x", sha256.Sum256(body))
+	v, err := s.pool.Submit(r.Context(), sig, func() (any, error) {
+		resp := verifyResponse{Size: len(req.Cycles)}
+		if isAllToAll(in) {
+			resp.Rho = cover.Rho(req.N)
+		}
+		cv, err := cover.FromVertexSets(rg, req.Cycles)
+		if err != nil {
+			resp.Error = err.Error()
+			return resp, nil
+		}
+		if err := cover.Verify(cv, in.Demand); err != nil {
+			resp.Error = err.Error()
+			return resp, nil
+		}
+		resp.Valid = true
+		resp.Optimal = resp.Rho > 0 && cv.Size() == resp.Rho
+		return resp, nil
+	})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "verify failed: %v", err)
+		return
+	}
+	resp := v.(verifyResponse)
+	if !resp.Valid {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthResponse is the JSON shape of /healthz.
+type healthResponse struct {
+	Status        string           `json:"status"`
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Cache         cache.PlansStats `json:"cache"`
+	Pool          PoolStats        `json:"pool"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.count("/healthz")
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.plans.Stats(),
+		Pool:          s.pool.Stats(),
+	})
+}
+
+// handleMetrics emits the counters in the Prometheus text exposition
+// format, without taking a dependency on a metrics library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.count("/metrics")
+	st := s.plans.Stats()
+	ps := s.pool.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	emit := func(name string, labels string, v uint64) {
+		if labels != "" {
+			fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+		} else {
+			fmt.Fprintf(w, "%s %d\n", name, v)
+		}
+	}
+	for _, store := range []struct {
+		label string
+		s     cache.Stats
+	}{{"coverings", st.Coverings}, {"networks", st.Networks}} {
+		l := fmt.Sprintf("store=%q", store.label)
+		emit("cycled_cache_hits_total", l, store.s.Hits)
+		emit("cycled_cache_misses_total", l, store.s.Misses)
+		emit("cycled_cache_coalesced_total", l, store.s.Coalesced)
+		emit("cycled_cache_evictions_total", l, store.s.Evictions)
+		emit("cycled_cache_entries", l, uint64(store.s.Entries))
+	}
+	emit("cycled_pool_executed_total", "", ps.Executed)
+	emit("cycled_pool_coalesced_total", "", ps.Coalesced)
+	// Snapshot the counters before emitting: writing to a slow client
+	// under s.mu would block every other handler's count().
+	s.mu.Lock()
+	counts := make(map[string]uint64, len(s.requests))
+	for p, c := range s.requests {
+		counts[p] = c
+	}
+	s.mu.Unlock()
+	paths := make([]string, 0, len(counts))
+	for p := range counts {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		emit("cycled_http_requests_total", fmt.Sprintf("path=%q", p), counts[p])
+	}
+	fmt.Fprintf(w, "cycled_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{CacheSize: 32, Workers: 4, Queue: 16})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestPlanHandlerTable drives /plan through its status codes and JSON
+// shape.
+func TestPlanHandlerTable(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		query  string
+		status int
+		// wantFields must appear as top-level JSON keys on 200s.
+		wantFields []string
+	}{
+		{"odd all-to-all", "n=9", http.StatusOK,
+			[]string{"signature", "n", "demand", "size", "rho", "optimal", "method", "cycles", "wavelengths", "adms", "maxTransit", "cost", "cacheHit"}},
+		{"even all-to-all", "n=8", http.StatusOK, nil},
+		{"hub demand", "n=10&demand=hub:3", http.StatusOK, nil},
+		{"lambda demand", "n=7&demand=lambda:2", http.StatusOK, nil},
+		{"neighbors demand", "n=9&demand=neighbors", http.StatusOK, nil},
+		{"missing n", "", http.StatusBadRequest, nil},
+		{"non-numeric n", "n=abc", http.StatusBadRequest, nil},
+		{"ring too small", "n=2", http.StatusBadRequest, nil},
+		{"negative n", "n=-5", http.StatusBadRequest, nil},
+		{"n beyond service limit", "n=99999", http.StatusBadRequest, nil},
+		{"unknown demand", "n=9&demand=bogus", http.StatusBadRequest, nil},
+		{"bad hub", "n=9&demand=hub:99", http.StatusBadRequest, nil},
+		{"oversized lambda workload", "n=1000&demand=lambda:100", http.StatusBadRequest, nil},
+		{"overflowing lambda", "n=5&demand=lambda:1152921504606846976", http.StatusBadRequest, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := get(t, ts.URL+"/plan?"+tc.query)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("content-type = %q", ct)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				t.Fatalf("non-JSON body %s: %v", body, err)
+			}
+			if tc.status != http.StatusOK {
+				if _, ok := m["error"]; !ok {
+					t.Fatalf("error body missing error field: %s", body)
+				}
+				return
+			}
+			for _, f := range tc.wantFields {
+				if _, ok := m[f]; !ok {
+					t.Errorf("response missing field %q: %s", f, body)
+				}
+			}
+		})
+	}
+
+	t.Run("method not allowed", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/plan?n=9", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestPlanCacheHitHeader asserts the golden MISS→HIT transition and the
+// cacheHit body flag.
+func TestPlanCacheHitHeader(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/plan?n=13")
+	if h := resp.Header.Get("X-Cache"); h != "MISS" {
+		t.Fatalf("first X-Cache = %q, want MISS (body %s)", h, body)
+	}
+	var first planResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first response claims cacheHit")
+	}
+	if first.Rho == 0 || first.Size != first.Rho || !first.Optimal {
+		t.Fatalf("K_13 plan not optimal: %+v", first)
+	}
+
+	resp, body = get(t, ts.URL+"/plan?n=13")
+	if h := resp.Header.Get("X-Cache"); h != "HIT" {
+		t.Fatalf("second X-Cache = %q, want HIT", h)
+	}
+	var second planResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.Size != first.Size || second.Signature != first.Signature {
+		t.Fatalf("cached response drifted: %+v vs %+v", second, first)
+	}
+}
+
+// TestVerifyHandlerTable drives /verify through its verdicts.
+func TestVerifyHandlerTable(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		req    verifyRequest
+		status int
+		valid  bool
+	}{
+		{"valid K_4 covering from the paper",
+			verifyRequest{N: 4, Cycles: [][]int{{0, 1, 2, 3}, {0, 1, 3}, {0, 2, 3}}},
+			http.StatusOK, true},
+		{"missing demand edge",
+			verifyRequest{N: 5, Cycles: [][]int{{0, 1, 2}}},
+			http.StatusUnprocessableEntity, false},
+		{"malformed cycle",
+			verifyRequest{N: 5, Cycles: [][]int{{0, 0, 1}}},
+			http.StatusUnprocessableEntity, false},
+		{"cycle too short",
+			verifyRequest{N: 5, Cycles: [][]int{{0, 1}}},
+			http.StatusUnprocessableEntity, false},
+		{"hub demand satisfied",
+			verifyRequest{N: 5, Cycles: [][]int{{0, 1, 2}, {0, 2, 3}, {0, 3, 4}}, Demand: "hub:0"},
+			http.StatusOK, true},
+		{"ring too small", verifyRequest{N: 2}, http.StatusBadRequest, false},
+		{"negative n", verifyRequest{N: -7}, http.StatusBadRequest, false},
+		{"n beyond service limit", verifyRequest{N: MaxRingSize + 1}, http.StatusBadRequest, false},
+		{"bad demand spec", verifyRequest{N: 5, Demand: "bogus"}, http.StatusBadRequest, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/verify", tc.req)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, body)
+			}
+			if tc.status == http.StatusBadRequest {
+				return
+			}
+			var vr verifyResponse
+			if err := json.Unmarshal(body, &vr); err != nil {
+				t.Fatal(err)
+			}
+			if vr.Valid != tc.valid {
+				t.Fatalf("valid = %v, want %v (%s)", vr.Valid, tc.valid, body)
+			}
+			if !vr.Valid && vr.Error == "" {
+				t.Fatal("invalid verdict carries no reason")
+			}
+		})
+	}
+
+	t.Run("oversized body rejected", func(t *testing.T) {
+		blob := append([]byte(`{"n":5,"cycles":[[0,1,2]],"demand":"`), bytes.Repeat([]byte("x"), 9<<20)...)
+		blob = append(blob, '"', '}')
+		resp, err := http.Post(ts.URL+"/verify", "application/json", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d, want 413", resp.StatusCode)
+		}
+	})
+	t.Run("malformed JSON", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/verify", "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("GET not allowed", func(t *testing.T) {
+		resp, _ := get(t, ts.URL+"/verify")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+// TestPlanVerifyRoundTrip is the end-to-end flow: plan a covering over
+// HTTP, feed the returned cycles back through /verify, and expect a
+// valid, optimal verdict.
+func TestPlanVerifyRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{"n=11", "n=8", "n=10&demand=hub:2"} {
+		resp, body := get(t, ts.URL+"/plan?"+q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan %s: status %d (%s)", q, resp.StatusCode, body)
+		}
+		var plan planResponse
+		if err := json.Unmarshal(body, &plan); err != nil {
+			t.Fatal(err)
+		}
+		demand := "alltoall"
+		if strings.Contains(q, "hub") {
+			demand = "hub:2"
+		}
+		resp, body = postJSON(t, ts.URL+"/verify", verifyRequest{N: plan.N, Cycles: plan.Cycles, Demand: demand})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify of planned %s: status %d (%s)", q, resp.StatusCode, body)
+		}
+		var vr verifyResponse
+		if err := json.Unmarshal(body, &vr); err != nil {
+			t.Fatal(err)
+		}
+		if !vr.Valid {
+			t.Fatalf("planned covering rejected by its own verifier: %s", body)
+		}
+		if q == "n=11" && !vr.Optimal {
+			t.Fatalf("K_11 round trip lost optimality: %s", body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t)
+	get(t, ts.URL+"/plan?n=9")
+	get(t, ts.URL+"/plan?n=9")
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		`cycled_cache_hits_total{store="coverings"}`,
+		`cycled_cache_misses_total{store="networks"}`,
+		"cycled_pool_executed_total",
+		`cycled_http_requests_total{path="/plan"} 2`,
+		"cycled_uptime_seconds",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("metrics missing %q:\n%s", metric, text)
+		}
+	}
+}
+
+// TestConcurrentPlans hammers /plan from many goroutines across a few
+// signatures; under -race this is the service's concurrency test, and the
+// cache must still have computed each signature exactly once.
+func TestConcurrentPlans(t *testing.T) {
+	s, ts := newTestServer(t)
+	ns := []int{9, 10, 11, 12}
+	var wg sync.WaitGroup
+	for w := 0; w < 24; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				n := ns[(w+i)%len(ns)]
+				resp, err := http.Get(fmt.Sprintf("%s/plan?n=%d", ts.URL, n))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("n=%d: status %d (%s)", n, resp.StatusCode, body)
+					return
+				}
+				var plan planResponse
+				if err := json.Unmarshal(body, &plan); err != nil {
+					t.Error(err)
+					return
+				}
+				if plan.N != n || plan.Size == 0 {
+					t.Errorf("n=%d: bogus plan %+v", n, plan)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Plans().Stats(); st.Coverings.Misses > uint64(len(ns)) {
+		t.Fatalf("constructions exceeded distinct signatures: %+v", st)
+	}
+}

@@ -1,0 +1,76 @@
+package cyclecover
+
+import (
+	"github.com/cyclecover/cyclecover/internal/cache"
+)
+
+// Planner is the cached planning facade: the same memoized path the
+// cycled service runs, exposed to library callers. Repeated requests for
+// the same instance signature (ring size, demand class, options) are
+// served from an LRU-bounded cache of verified results, and concurrent
+// first requests for one signature collapse onto a single computation.
+//
+// A Planner is safe for concurrent use. Coverings it returns are private
+// clones — callers may mutate them freely — while returned *Network
+// values are shared and must be treated as read-only. The zero Planner is
+// not usable; call NewPlanner.
+type Planner struct {
+	plans *cache.Plans
+}
+
+// CacheStats snapshots a Planner's cache counters.
+type CacheStats = cache.PlansStats
+
+// PlannerOption configures NewPlanner.
+type PlannerOption func(*plannerConfig)
+
+type plannerConfig struct {
+	capacity int
+}
+
+// WithCacheSize bounds each of the planner's stores (coverings, networks)
+// to n entries; n ≤ 0 selects the default.
+func WithCacheSize(n int) PlannerOption {
+	return func(c *plannerConfig) { c.capacity = n }
+}
+
+// NewPlanner returns a planner with an empty cache.
+func NewPlanner(opts ...PlannerOption) *Planner {
+	var cfg plannerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Planner{plans: cache.New(cfg.capacity)}
+}
+
+// CoverAllToAll is the cached CoverAllToAll: identical results, but the
+// construction runs once per ring size for the planner's lifetime.
+func (p *Planner) CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
+	res, _, err := p.plans.CoverAllToAll(n, cache.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Covering, res.Optimal, nil
+}
+
+// CoverInstance is the cached CoverInstance. Beyond caching it also
+// upgrades uniform λK_n demands to the λ-composition constructor rather
+// than the generic greedy path.
+func (p *Planner) CoverInstance(in Instance) (*Covering, error) {
+	res, _, err := p.plans.Cover(in, cache.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Covering, nil
+}
+
+// PlanWDM returns the cached WDM design for the instance, constructing
+// the covering (also cached) when needed. The returned network is shared:
+// treat it as read-only.
+func (p *Planner) PlanWDM(in Instance) (*Network, error) {
+	nw, _, err := p.plans.Network(in, cache.Options{})
+	return nw, err
+}
+
+// CacheStats returns the planner's cache counters.
+func (p *Planner) CacheStats() CacheStats { return p.plans.Stats() }

@@ -1,0 +1,152 @@
+package cyclecover
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPlannerMatchesUncachedPath checks the facade returns exactly what
+// the free functions return, warm or cold.
+func TestPlannerMatchesUncachedPath(t *testing.T) {
+	p := NewPlanner()
+	for _, n := range []int{5, 8, 9, 12, 13} {
+		direct, directOpt, err := CoverAllToAll(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ { // cold, then warm
+			cached, cachedOpt, err := p.CoverAllToAll(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached.Size() != direct.Size() || cachedOpt != directOpt {
+				t.Fatalf("n=%d pass %d: planner (%d, %v) != direct (%d, %v)",
+					n, pass, cached.Size(), cachedOpt, direct.Size(), directOpt)
+			}
+			if err := Verify(cached, AllToAll(n)); err != nil {
+				t.Fatalf("n=%d pass %d: %v", n, pass, err)
+			}
+		}
+	}
+	st := p.CacheStats()
+	if st.Coverings.Misses != 5 || st.Coverings.Hits != 5 {
+		t.Fatalf("stats = %+v, want 5 misses and 5 hits", st)
+	}
+}
+
+func TestPlannerPlanWDM(t *testing.T) {
+	p := NewPlanner(WithCacheSize(8))
+	in := AllToAll(9)
+	nw, err := p.PlanWDM(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.PlanWDM(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw != again {
+		t.Fatal("warm PlanWDM rebuilt the network")
+	}
+	sim := NewSimulator(nw)
+	report, err := sim.Fail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Restored() {
+		t.Fatal("single failure not restored on cached network")
+	}
+}
+
+// TestPlannerReturnsPrivateClones: a caller trashing its covering must
+// not affect later calls.
+func TestPlannerReturnsPrivateClones(t *testing.T) {
+	p := NewPlanner()
+	cv, _, err := p.CoverAllToAll(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cv.Size()
+	cv.Add(cv.Cycles[0]) // corrupt the caller's copy
+	cv2, _, err := p.CoverAllToAll(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv2.Size() != want {
+		t.Fatalf("cache corrupted: %d, want %d", cv2.Size(), want)
+	}
+}
+
+// TestPlannerConcurrentUse is the facade-level race test.
+func TestPlannerConcurrentUse(t *testing.T) {
+	p := NewPlanner()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 9 + (w%3)*2
+			for i := 0; i < 5; i++ {
+				if _, _, err := p.CoverAllToAll(n); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.PlanWDM(AllToAll(n)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := p.CacheStats(); st.Coverings.Misses > 3 {
+		t.Fatalf("more constructions than distinct sizes: %+v", st)
+	}
+}
+
+// BenchmarkCoverAllToAllUncached is the cold path: every iteration
+// reconstructs the K_101 covering from scratch.
+func BenchmarkCoverAllToAllUncached(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cv, _, err := CoverAllToAll(101)
+		if err != nil || cv.Size() == 0 {
+			b.Fatal("construction failed")
+		}
+	}
+}
+
+// BenchmarkPlannerCoverAllToAllWarm is the cached path on the same
+// workload. The acceptance bar for the covering cache is ≥10x over
+// BenchmarkCoverAllToAllUncached; in practice the spread is orders of
+// magnitude (a clone versus a full construction).
+func BenchmarkPlannerCoverAllToAllWarm(b *testing.B) {
+	p := NewPlanner()
+	if _, _, err := p.CoverAllToAll(101); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv, _, err := p.CoverAllToAll(101)
+		if err != nil || cv.Size() == 0 {
+			b.Fatal("cached cover failed")
+		}
+	}
+}
+
+// BenchmarkPlannerPlanWDMWarm measures the cached optical-design path.
+func BenchmarkPlannerPlanWDMWarm(b *testing.B) {
+	p := NewPlanner()
+	in := AllToAll(51)
+	if _, err := p.PlanWDM(in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PlanWDM(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
