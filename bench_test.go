@@ -12,9 +12,11 @@
 package cyclecover
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/cyclecover/cyclecover/internal/bench"
+	"github.com/cyclecover/cyclecover/internal/cache"
 	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/graph"
@@ -268,6 +270,67 @@ func BenchmarkSingleFailureSweep(b *testing.B) {
 		if err != nil || !sweep.AllRestored {
 			b.Fatal("sweep failed")
 		}
+	}
+}
+
+// S1: concurrent warm-hit throughput, single-lock store vs the sharded
+// default. All goroutines hammer warm keys; shards=1 reproduces the
+// pre-sharding store (one global mutex), the other case is the shipped
+// layout. The gap is the cost of serializing every hit on one lock and
+// grows with core count; on a single-core runner the two are within
+// noise (one core runs one critical section at a time regardless).
+func BenchmarkStoreWarmHitThroughput(b *testing.B) {
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("n=%d;d=k1", i+3)
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{{"single-lock", 1}, {"sharded", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := cache.NewStoreSharded(4096, tc.shards)
+			for i, k := range keys {
+				s.Put(k, i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, hit, _ := s.Do(keys[i%len(keys)], func() (any, error) { return nil, nil }); !hit {
+						b.Fatal("expected warm hit")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// S2: exact-search certification at the largest search-certified even n,
+// serial vs the first-level fan-out. The parallel run is deterministic
+// (same covering as serial, pinned by TestExactParallelMatchesSerial)
+// and scales with cores. Parallelism is forced to 4 rather than left at
+// the GOMAXPROCS default so the fan-out machinery is exercised even on a
+// single-core runner (where the default would degrade to serial).
+func BenchmarkExactCertification(b *testing.B) {
+	const n = 12
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := construct.Exact(n, construct.ExactOptions{
+					Budget: cover.Rho(n), MaxLen: 4, NodeLimit: 8_000_000, Parallelism: tc.par,
+				})
+				if out.Covering == nil {
+					b.Fatal("no covering at ρ(12)")
+				}
+			}
+		})
 	}
 }
 

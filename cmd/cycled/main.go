@@ -5,6 +5,9 @@
 // Endpoints (see DESIGN.md §5 for the full API):
 //
 //	GET  /plan?n=13&demand=alltoall   plan a covering + WDM design
+//	POST /plan/batch                  NDJSON bulk planning: one request per
+//	                                  line in, results streamed per line as
+//	                                  they complete (join on "index")
 //	POST /verify                      verify a covering against a demand
 //	GET  /healthz                     liveness + cache/pool counters
 //	GET  /metrics                     Prometheus text exposition

@@ -68,6 +68,40 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 		t.Fatalf("daemon served a bogus plan: %+v", plan)
 	}
 
+	// The NDJSON batch surface end to end: two plans and one per-item
+	// failure through the running daemon.
+	resp, err = http.Post(base+"/plan/batch", "application/x-ndjson",
+		strings.NewReader("{\"n\": 9}\n{\"n\": 7, \"demand\": \"lambda:2\"}\n{\"n\": 2}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plan/batch status = %d (%s)", resp.StatusCode, body)
+	}
+	var got [3]bool
+	for _, ln := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var line struct {
+			Index int             `json:"index"`
+			Plan  json.RawMessage `json:"plan"`
+			Error string          `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(ln), &line); err != nil {
+			t.Fatalf("bad batch line %q: %v", ln, err)
+		}
+		if line.Index < 0 || line.Index > 2 || got[line.Index] {
+			t.Fatalf("unexpected or duplicate index in %q", ln)
+		}
+		got[line.Index] = true
+		if wantErr := line.Index == 2; wantErr != (line.Error != "") {
+			t.Fatalf("index %d: error mismatch in %q", line.Index, ln)
+		}
+	}
+	if !got[0] || !got[1] || !got[2] {
+		t.Fatalf("batch answered %v, want all three indexes", got)
+	}
+
 	cancel()
 	select {
 	case err := <-done:

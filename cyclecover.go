@@ -95,8 +95,10 @@ func Hub(n, hub int) Instance { return instance.Hub(n, hub) }
 // Neighbors returns the adjacency instance.
 func Neighbors(n int) Instance { return instance.Neighbors(n) }
 
-// RandomInstance samples a reproducible random symmetric demand.
-func RandomInstance(n int, density float64, seed int64) Instance {
+// RandomInstance samples a reproducible random symmetric demand. Finite
+// densities outside [0, 1] are clamped; non-finite densities (NaN, ±Inf)
+// are rejected.
+func RandomInstance(n int, density float64, seed int64) (Instance, error) {
 	return instance.RandomSymmetric(n, density, seed)
 }
 
@@ -122,6 +124,9 @@ func CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
 // over C_n (n = instance size): the closed-form machinery when the demand
 // is complete, the greedy constructor otherwise.
 func CoverInstance(in Instance) (*Covering, error) {
+	if in.Demand == nil {
+		return nil, fmt.Errorf("cyclecover: instance %q has no demand graph (zero-value instance?)", in.Name)
+	}
 	n := in.N()
 	r, err := ring.New(n)
 	if err != nil {
@@ -149,7 +154,8 @@ func CoverInstance(in Instance) (*Covering, error) {
 
 // Verify checks that cv is a valid DRC covering of the instance: every
 // cycle routable edge-disjointly, every request covered at least its
-// multiplicity.
+// multiplicity. A nil covering or a zero-value instance (nil demand) is
+// reported as an error, never a panic.
 func Verify(cv *Covering, in Instance) error {
 	return cover.Verify(cv, in.Demand)
 }
@@ -158,7 +164,8 @@ func Verify(cv *Covering, in Instance) error {
 func VerifyOptimalAllToAll(cv *Covering) error { return cover.VerifyOptimal(cv) }
 
 // PlanWDM builds the optical design: one subnetwork per cycle with working
-// and spare wavelengths, demand assignment, and cost accounting.
+// and spare wavelengths, demand assignment, and cost accounting. Nil
+// coverings and zero-value instances are errors, not panics.
 func PlanWDM(cv *Covering, in Instance) (*Network, error) {
 	return wdm.Plan(cv, in.Demand)
 }

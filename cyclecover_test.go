@@ -1,6 +1,7 @@
 package cyclecover
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -109,10 +110,19 @@ func TestFacadePlanAndSimulate(t *testing.T) {
 }
 
 func TestFacadeRandomInstanceReproducible(t *testing.T) {
-	a := RandomInstance(10, 0.5, 3)
-	b := RandomInstance(10, 0.5, 3)
+	a, err := RandomInstance(10, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomInstance(10, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Requests() != b.Requests() {
 		t.Error("same seed, same instance")
+	}
+	if _, err := RandomInstance(10, math.NaN(), 3); err == nil {
+		t.Error("NaN density: want error")
 	}
 }
 

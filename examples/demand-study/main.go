@@ -15,11 +15,15 @@ import (
 func main() {
 	const n = 12
 
+	random, err := cyclecover.RandomInstance(n, 0.35, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 	patterns := []cyclecover.Instance{
 		cyclecover.AllToAll(n),
 		cyclecover.Hub(n, 0),
 		cyclecover.Neighbors(n),
-		cyclecover.RandomInstance(n, 0.35, 42),
+		random,
 		cyclecover.LambdaAllToAll(n, 2),
 	}
 

@@ -61,6 +61,9 @@ func (p *Plans) Stats() PlansStats {
 // flight). The constructor is chosen by demand class: the paper's optimal
 // machinery for K_n, the λ-composition for λK_n, greedy otherwise.
 func (p *Plans) Cover(in instance.Instance, opts Options) (CoverResult, bool, error) {
+	if in.Demand == nil {
+		return CoverResult{}, false, fmt.Errorf("cache: instance %q has no demand graph (zero-value instance?)", in.Name)
+	}
 	sig := Signature(in, opts)
 	v, hit, err := p.coverings.Do(sig, func() (any, error) {
 		return buildCover(in, opts)
@@ -112,6 +115,9 @@ func (p *Plans) NetworkAllToAll(n int, opts Options) (*wdm.Network, bool, error)
 // the same signature scheme. The returned network is shared across
 // callers and must not be mutated.
 func (p *Plans) Network(in instance.Instance, opts Options) (*wdm.Network, bool, error) {
+	if in.Demand == nil {
+		return nil, false, fmt.Errorf("cache: instance %q has no demand graph (zero-value instance?)", in.Name)
+	}
 	sig := Signature(in, opts)
 	v, hit, err := p.networks.Do(sig, func() (any, error) {
 		res, _, err := p.Cover(in, opts)

@@ -23,8 +23,8 @@ func TestSignatureCanonicalization(t *testing.T) {
 		"hub":   instance.Hub(9, 0),
 		"hub3":  instance.Hub(9, 3),
 		"neigh": instance.Neighbors(9),
-		"rand7": instance.RandomSymmetric(9, 0.5, 7),
-		"rand8": instance.RandomSymmetric(9, 0.5, 8),
+		"rand7": mustRandom(t, 9, 0.5, 7),
+		"rand8": mustRandom(t, 9, 0.5, 8),
 	} {
 		sig := Signature(in, Options{})
 		if prev, ok := sigs[sig]; ok {
@@ -222,4 +222,14 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	if st.Coverings.Misses > uint64(len(ins)) {
 		t.Fatalf("more constructions than signatures: %+v", st)
 	}
+}
+
+// mustRandom builds a random instance or fails the test.
+func mustRandom(t *testing.T, n int, density float64, seed int64) instance.Instance {
+	t.Helper()
+	in, err := instance.RandomSymmetric(n, density, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
 }

@@ -2,15 +2,36 @@ package cache
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
 )
 
-// Store is a bounded memoization table: an LRU map joined with a
-// single-flight group. Do serves repeated keys from memory and collapses
-// concurrent misses for one key onto a single computation. Errors are
-// never cached — a failed computation is reported to every waiter and the
-// next request retries.
+// DefaultShards is the shard count selected by NewStore. It is sized to
+// a small multiple of typical core counts so that concurrent warm hits —
+// which take only the shard lock of their key — rarely contend, while
+// keeping per-shard LRU books small enough to stay cache-friendly.
+const DefaultShards = 16
+
+// Store is a bounded memoization table: hash-partitioned shards, each an
+// LRU map joined with a single-flight group. Do serves repeated keys
+// from memory and collapses concurrent misses for one key onto a single
+// computation. A key's shard is fixed by its hash, so all single-flight
+// and LRU bookkeeping for it happens under one shard lock and warm-hit
+// throughput scales with the number of shards rather than serializing on
+// a store-global mutex. Errors are never cached — a failed computation
+// is reported to every waiter and the next request retries.
+//
+// The capacity bound and the LRU policy are per shard: shard capacities
+// carry skew headroom (see NewStoreSharded), so total residency may
+// exceed the requested capacity by up to ~a third, and eviction order
+// is least-recently-used within each shard, not globally.
 type Store struct {
+	shards []*storeShard
+}
+
+// storeShard is one lock domain of the store: an LRU list plus the
+// in-flight calls for the keys that hash here.
+type storeShard struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List               // most-recent first
@@ -41,114 +62,197 @@ type Stats struct {
 	Entries   int    `json:"entries"`
 }
 
-// NewStore returns a store bounded to capacity entries (capacity ≥ 1).
+// NewStore returns a store bounded to about capacity entries (capacity
+// ≥ 1), partitioned into DefaultShards shards — fewer when core count
+// or capacity is small (shards are kept ≥ 64 entries each, so small
+// default stores do not fragment their capacity into skew-prone
+// slivers).
 func NewStore(capacity int) *Store {
+	shards := DefaultShards
+	if p := 2 * runtime.GOMAXPROCS(0); p < shards {
+		shards = p
+	}
+	if c := capacity / 64; c < shards {
+		shards = c
+	}
+	return NewStoreSharded(capacity, shards)
+}
+
+// NewStoreSharded returns a store bounded to about capacity entries
+// (capacity ≥ 1) partitioned into the given number of shards. shards
+// ≤ 0 selects DefaultShards; shards is additionally clamped to capacity
+// so every shard can hold at least one entry.
+//
+// With more than one shard the capacity is a target, not an exact
+// bound: each shard holds its fair share plus a third of headroom
+// (worst-case residency ≈ 4/3·capacity), because keys hash unevenly
+// and an exactly-split shard would evict — and force recomputation of —
+// entries of a working set that fits the store as a whole. A
+// single-shard store (NewStoreSharded(capacity, 1)) bounds exactly and
+// keeps strict global LRU order — the benchmark baseline and the right
+// choice when whole-store recency matters more than concurrent
+// throughput.
+func NewStoreSharded(capacity, shards int) *Store {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Store{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		inflight: make(map[string]*call),
+	if shards <= 0 {
+		shards = DefaultShards
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	if shards > 1 {
+		perShard += (perShard + 2) / 3
+	}
+	s := &Store{shards: make([]*storeShard, shards)}
+	for i := range s.shards {
+		s.shards[i] = &storeShard{
+			capacity: perShard,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*call),
+		}
+	}
+	return s
+}
+
+// shard returns the shard owning key: inline FNV-1a over the key bytes
+// (no hasher allocation — this sits on every warm hit).
+func (s *Store) shard(key string) *storeShard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // Do returns the cached value for key, computing it with compute on a
 // miss. hit reports whether the value was served without running compute
 // in this call (an LRU hit, or a join onto another caller's in-flight
-// computation). Successful results are inserted at the front of the LRU.
+// computation). Successful results are inserted at the front of their
+// shard's LRU.
 func (s *Store) Do(key string, compute func() (any, error)) (val any, hit bool, err error) {
-	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.ll.MoveToFront(el)
-		s.stats.Hits++
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		sh.ll.MoveToFront(el)
+		sh.stats.Hits++
 		v := el.Value.(*entry).val
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return v, true, nil
 	}
-	if c, ok := s.inflight[key]; ok {
-		s.stats.Coalesced++
-		s.mu.Unlock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.stats.Coalesced++
+		sh.mu.Unlock()
 		<-c.done
 		return c.val, true, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	s.inflight[key] = c
-	s.stats.Misses++
-	s.mu.Unlock()
+	sh.inflight[key] = c
+	sh.stats.Misses++
+	sh.mu.Unlock()
 
 	c.val, c.err = compute()
 
-	s.mu.Lock()
-	delete(s.inflight, key)
+	sh.mu.Lock()
+	delete(sh.inflight, key)
 	if c.err == nil {
-		s.add(key, c.val)
+		sh.add(key, c.val)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err
 }
 
 // Put inserts a value directly, as if computed. Used by snapshot loading.
 func (s *Store) Put(key string, val any) {
-	s.mu.Lock()
-	s.add(key, val)
-	s.mu.Unlock()
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.add(key, val)
+	sh.mu.Unlock()
 }
 
-// Each calls f for every resident entry, from most to least recently
-// used, holding the store lock: f must not call back into the store.
+// Each calls f for every resident entry, shard by shard and from most to
+// least recently used within each shard, holding that shard's lock:
+// f must not call back into the store.
 func (s *Store) Each(f func(key string, val any)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for el := s.ll.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		f(e.key, e.val)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			f(e.key, e.val)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Get returns the cached value without computing, refreshing recency.
 func (s *Store) Get(key string) (any, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[key]
 	if !ok {
 		return nil, false
 	}
-	s.ll.MoveToFront(el)
+	sh.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
 
 // Len returns the number of resident entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ll.Len()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the counters.
+// Shards returns the number of shards (for introspection and tests).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Stats returns a snapshot of the counters, aggregated over all shards.
+// Shards are snapshotted one at a time, so the aggregate is not a single
+// atomic cut — fine for the monitoring counters it feeds.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = s.ll.Len()
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Hits += sh.stats.Hits
+		st.Misses += sh.stats.Misses
+		st.Coalesced += sh.stats.Coalesced
+		st.Evictions += sh.stats.Evictions
+		st.Entries += sh.ll.Len()
+		sh.mu.Unlock()
+	}
 	return st
 }
 
-// add inserts (or refreshes) key at the front, evicting the tail when the
-// bound is exceeded. Caller holds s.mu.
-func (s *Store) add(key string, val any) {
-	if el, ok := s.items[key]; ok {
+// add inserts (or refreshes) key at the front of the shard's LRU,
+// evicting the tail when the shard bound is exceeded. Caller holds sh.mu.
+func (sh *storeShard) add(key string, val any) {
+	if el, ok := sh.items[key]; ok {
 		el.Value.(*entry).val = val
-		s.ll.MoveToFront(el)
+		sh.ll.MoveToFront(el)
 		return
 	}
-	s.items[key] = s.ll.PushFront(&entry{key: key, val: val})
-	for s.ll.Len() > s.capacity {
-		tail := s.ll.Back()
-		s.ll.Remove(tail)
-		delete(s.items, tail.Value.(*entry).key)
-		s.stats.Evictions++
+	sh.items[key] = sh.ll.PushFront(&entry{key: key, val: val})
+	for sh.ll.Len() > sh.capacity {
+		tail := sh.ll.Back()
+		sh.ll.Remove(tail)
+		delete(sh.items, tail.Value.(*entry).key)
+		sh.stats.Evictions++
 	}
 }

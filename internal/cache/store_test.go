@@ -10,7 +10,9 @@ import (
 )
 
 func TestStoreHitMissAndRecency(t *testing.T) {
-	s := NewStore(2)
+	// One shard: the eviction assertions below rely on exact whole-store
+	// LRU order, which the sharded default only guarantees per shard.
+	s := NewStoreSharded(2, 1)
 	compute := func(v int) func() (any, error) {
 		return func() (any, error) { return v, nil }
 	}
@@ -125,5 +127,170 @@ func TestStoreCapacityFloor(t *testing.T) {
 	}
 	if n := s.Len(); n != 1 {
 		t.Fatalf("len = %d, want 1", n)
+	}
+}
+
+func TestStoreShardingPartitionsCapacity(t *testing.T) {
+	s := NewStoreSharded(256, 4)
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+	// Every shard gets at least its fair share (so a balanced working
+	// set that fits the store never evicts), at most fair share plus the
+	// documented ~1/3 skew headroom.
+	for _, sh := range s.shards {
+		if sh.capacity < 64 || sh.capacity > 64+22 {
+			t.Fatalf("shard capacity %d outside [64, 86]", sh.capacity)
+		}
+	}
+	// A single-shard store bounds exactly: no skew, no headroom.
+	one := NewStoreSharded(10, 1)
+	if one.shards[0].capacity != 10 {
+		t.Fatalf("single shard capacity = %d, want exactly 10", one.shards[0].capacity)
+	}
+	// Tiny capacities clamp the shard count so no shard is zero-sized.
+	if got := NewStoreSharded(3, 16).Shards(); got != 3 {
+		t.Fatalf("capacity 3: shards = %d, want 3", got)
+	}
+	if got := NewStoreSharded(1, 0).Shards(); got != 1 {
+		t.Fatalf("capacity 1: shards = %d, want 1", got)
+	}
+	// The default constructor keeps shards ≥ 64 entries: a 256-entry
+	// store must not fragment into 16-entry slivers that evict under
+	// hash skew while the store as a whole has room.
+	if got := NewStore(256).Shards(); got > 4 {
+		t.Fatalf("NewStore(256) uses %d shards, want ≤ 4", got)
+	}
+}
+
+// TestStoreShardedFullWorkingSetDoesNotThrash loads exactly capacity
+// many keys and re-touches them all: the skew headroom must absorb the
+// uneven hash spread so a working set that fits the store keeps
+// hitting, instead of hot shards evicting while cold shards sit empty.
+func TestStoreShardedFullWorkingSetDoesNotThrash(t *testing.T) {
+	const capacity = 256
+	s := NewStoreSharded(capacity, 4)
+	keys := make([]string, capacity)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("n=%d;d=k%d", i+3, 1+i%3)
+		s.Put(keys[i], i)
+	}
+	for _, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("key %q evicted although the working set equals the capacity", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("%d evictions for a capacity-sized working set", st.Evictions)
+	}
+}
+
+// TestStoreShardedKeysLandOnOneShard pins the shard-routing invariant the
+// single-flight semantics depend on: every operation for one key uses one
+// shard, so a Do and a Get for the same key can never disagree.
+func TestStoreShardedKeysLandOnOneShard(t *testing.T) {
+	s := NewStore(64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if s.shard(key) != s.shard(key) {
+			t.Fatalf("key %q routed to two shards", key)
+		}
+		s.Put(key, i)
+		v, ok := s.Get(key)
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%q) = (%v, %v) after Put", key, v, ok)
+		}
+	}
+	if s.Len() != 50 {
+		t.Fatalf("len = %d, want 50", s.Len())
+	}
+}
+
+// TestStoreShardedConcurrentMixedTraffic hammers a sharded store from
+// many goroutines with overlapping keys — warm hits, cold misses and
+// single-flight joins all interleaved — and then checks the aggregate
+// accounting. Run under -race this is the shard-locking correctness test.
+func TestStoreShardedConcurrentMixedTraffic(t *testing.T) {
+	const (
+		goroutines = 32
+		keys       = 40
+		rounds     = 50
+	)
+	// Per-shard capacity must cover every key (keys hash unevenly across
+	// shards), or a skewed shard would evict and break the checks below.
+	s := NewStoreSharded(keys*8, 8)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := fmt.Sprintf("key-%d", (g+r)%keys)
+				v, _, err := s.Do(k, func() (any, error) {
+					computes.Add(1)
+					return k, nil
+				})
+				if err != nil || v.(string) != k {
+					t.Errorf("Do(%q) = (%v, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	total := st.Hits + st.Misses + st.Coalesced
+	if total != goroutines*rounds {
+		t.Fatalf("hits+misses+coalesced = %d, want %d (stats %+v)", total, goroutines*rounds, st)
+	}
+	if st.Misses != uint64(computes.Load()) {
+		t.Fatalf("misses = %d but computes = %d", st.Misses, computes.Load())
+	}
+	// Capacity covers every key, so nothing should have been evicted and
+	// every key must be resident.
+	if st.Evictions != 0 || s.Len() != keys {
+		t.Fatalf("evictions = %d, len = %d; want 0 and %d", st.Evictions, s.Len(), keys)
+	}
+}
+
+// TestStoreShardedSingleFlight re-runs the stampede check against the
+// sharded store: one key, many concurrent callers, exactly one compute.
+func TestStoreShardedSingleFlight(t *testing.T) {
+	const waiters = 64
+	s := NewStore(DefaultCapacity)
+	gate := make(chan struct{})
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.Do("hot", func() (any, error) {
+				computes.Add(1)
+				<-gate
+				return 7, nil
+			})
+			if err != nil || v.(int) != 7 {
+				t.Errorf("Do = (%v, %v)", v, err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Misses+st.Coalesced == waiters {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stampede never converged: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
 	}
 }

@@ -1,7 +1,11 @@
 package construct
 
 import (
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/ring"
@@ -18,8 +22,17 @@ type ExactOptions struct {
 	// length). The paper's constructions need only 3 and 4.
 	MaxLen int
 	// NodeLimit caps search nodes for determinism (no wall clocks); 0
-	// applies DefaultNodeLimit.
+	// applies DefaultNodeLimit. In a parallel search the limit is shared:
+	// all workers draw from one budget.
 	NodeLimit int64
+	// Parallelism bounds the worker pool that fans the first branch level
+	// out: each root candidate's subtree is searched independently, with
+	// cancellation of higher-index subtrees once a solution is found.
+	// 0 selects GOMAXPROCS; 1 forces the serial search. The result is
+	// deterministic whenever the search completes within NodeLimit: the
+	// surviving solution is the one the serial search would have found
+	// (lowest root-candidate index, identical DFS inside the subtree).
+	Parallelism int
 }
 
 // DefaultNodeLimit bounds exact searches that did not specify a limit.
@@ -34,7 +47,8 @@ type ExactOutcome struct {
 	// Covering a proof of infeasibility at this Budget (for the given
 	// MaxLen; with MaxLen 0 it is unconditional).
 	Complete bool
-	// Nodes is the number of candidate applications explored.
+	// Nodes is the number of candidate applications explored (summed over
+	// all workers when the search ran in parallel).
 	Nodes int64
 }
 
@@ -50,42 +64,34 @@ type ExactOutcome struct {
 //   - prune when cyclesLeft·n < Σ dist(uncovered) (the arc-length bound
 //     applied to the residual instance) or when cyclesLeft is below the
 //     number of uncovered diameters.
+//
+// With Parallelism ≠ 1 the first branch level fans out over a bounded
+// worker pool: each root candidate's subtree runs the same serial DFS on
+// its own state, a shared atomic counter enforces the node budget, and
+// finding a solution cancels every subtree with a higher root index (a
+// lower-index subtree may still yield the canonical, serial-order
+// solution, so it runs to completion).
 func Exact(n int, opts ExactOptions) ExactOutcome {
 	r := ring.MustNew(n)
 	if opts.NodeLimit == 0 {
 		opts.NodeLimit = DefaultNodeLimit
 	}
-	s := &exactState{
-		r:       r,
-		n:       n,
-		opts:    opts,
-		covered: make([]bool, n*n),
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			s.remainingDist += r.Dist(u, v)
-			s.uncovered++
-			if r.IsDiameter(u, v) {
-				s.uncoveredDiams++
-			}
-		}
+	if workers == 1 {
+		s := newExactState(r, n, opts)
+		complete := s.search(0)
+		return s.outcome(complete, s.nodes)
 	}
-	complete := s.search(0)
-	out := ExactOutcome{Complete: complete, Nodes: s.nodes}
-	if s.solution != nil {
-		cv := cover.NewCovering(r)
-		for _, verts := range s.solution {
-			cv.Add(cover.MustCycle(r, verts...))
-		}
-		cv.Canonicalize()
-		out.Covering = cv
-	}
-	return out
+	return exactParallel(r, n, opts, workers)
 }
 
 // ExactOptimal runs Exact at Budget = ρ(n) with the paper's cycle lengths
-// (MaxLen 4). Per Theorems 1–2 a covering always exists there; ok reports
-// whether the solver found it within the node limit.
+// (MaxLen 4) and default parallelism. Per Theorems 1–2 a covering always
+// exists there; ok reports whether the solver found it within the node
+// limit.
 func ExactOptimal(n int, nodeLimit int64) (*cover.Covering, bool) {
 	out := Exact(n, ExactOptions{Budget: cover.Rho(n), MaxLen: 4, NodeLimit: nodeLimit})
 	return out.Covering, out.Covering != nil
@@ -104,17 +110,90 @@ type exactState struct {
 	chosen   [][]int
 	solution [][]int
 	nodes    int64
+
+	// Parallel-search hooks; nil/zero in the serial search.
+	shared    *atomic.Int64 // node budget shared across workers
+	bestIdx   *atomic.Int64 // lowest root index that found a solution
+	myIdx     int64         // this worker's root-candidate index
+	cancelled bool          // aborted because a lower index solved first
 }
 
-func (s *exactState) pairIdx(u, v int) int {
-	if u > v {
-		u, v = v, u
+// newExactState initializes the fully-uncovered search state for K_n.
+func newExactState(r ring.Ring, n int, opts ExactOptions) *exactState {
+	s := &exactState{
+		r:       r,
+		n:       n,
+		opts:    opts,
+		covered: make([]bool, n*n),
 	}
-	return u*s.n + v
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			s.remainingDist += r.Dist(u, v)
+			s.uncovered++
+			if r.IsDiameter(u, v) {
+				s.uncoveredDiams++
+			}
+		}
+	}
+	return s
+}
+
+// outcome packages the state's solution (if any) as an ExactOutcome.
+func (s *exactState) outcome(complete bool, nodes int64) ExactOutcome {
+	out := ExactOutcome{Complete: complete, Nodes: nodes}
+	if s.solution != nil {
+		out.Covering = buildCovering(s.r, s.solution)
+	}
+	return out
+}
+
+// buildCovering materializes a solution's vertex sets as a canonical
+// covering.
+func buildCovering(r ring.Ring, sol [][]int) *cover.Covering {
+	cv := cover.NewCovering(r)
+	for _, verts := range sol {
+		cv.Add(cover.MustCycle(r, verts...))
+	}
+	cv.Canonicalize()
+	return cv
+}
+
+// pruned reports whether the subtree at depth is cut by the bounds; a
+// pruned subtree counts as (vacuously) fully explored.
+func (s *exactState) pruned(depth int) bool {
+	left := s.opts.Budget - depth
+	if left <= 0 ||
+		left*s.n < s.remainingDist ||
+		left < s.uncoveredDiams {
+		return true
+	}
+	// Slot bound: a cycle of length k covers exactly k pairs, so with a
+	// length cap each remaining cycle covers at most MaxLen new pairs.
+	return s.opts.MaxLen > 0 && left*s.opts.MaxLen < s.uncovered
+}
+
+// countNode charges one node against the budget; false means the budget
+// is exhausted and the search must stop. In a parallel search the charge
+// goes against the shared counter, so the limit bounds total work across
+// all workers.
+func (s *exactState) countNode() bool {
+	if s.shared != nil {
+		if s.shared.Add(1) > s.opts.NodeLimit {
+			return false
+		}
+		s.nodes++
+		return true
+	}
+	if s.nodes >= s.opts.NodeLimit {
+		return false
+	}
+	s.nodes++
+	return true
 }
 
 // search returns true if the subtree was explored completely (or a
-// solution was found); false only when the node limit interrupted it.
+// solution was found); false only when the node limit (or a parallel
+// cancellation, recorded in s.cancelled) interrupted it.
 func (s *exactState) search(depth int) bool {
 	if s.uncovered == 0 {
 		sol := make([][]int, len(s.chosen))
@@ -124,25 +203,22 @@ func (s *exactState) search(depth int) bool {
 		s.solution = sol
 		return true
 	}
-	left := s.opts.Budget - depth
-	if left <= 0 ||
-		left*s.n < s.remainingDist ||
-		left < s.uncoveredDiams {
+	if s.pruned(depth) {
 		return true // pruned: subtree fully (vacuously) explored
 	}
-	// Slot bound: a cycle of length k covers exactly k pairs, so with a
-	// length cap each remaining cycle covers at most MaxLen new pairs.
-	if s.opts.MaxLen > 0 && left*s.opts.MaxLen < s.uncovered {
-		return true
+	if s.bestIdx != nil && s.bestIdx.Load() < s.myIdx {
+		// A lower root index already holds the canonical solution; this
+		// subtree's result can no longer be preferred.
+		s.cancelled = true
+		return false
 	}
 
 	u, v := s.pickBranchPair()
 	cands := s.candidates(u, v)
 	for _, cand := range cands {
-		if s.nodes >= s.opts.NodeLimit {
+		if !s.countNode() {
 			return false
 		}
-		s.nodes++
 		newly := s.apply(cand)
 		s.chosen = append(s.chosen, cand.verts)
 		done := s.search(depth + 1)
@@ -156,6 +232,113 @@ func (s *exactState) search(depth int) bool {
 		}
 	}
 	return true
+}
+
+// subOutcome is one root-candidate subtree's result in a parallel search.
+type subOutcome struct {
+	solution  [][]int
+	complete  bool
+	cancelled bool
+	skipped   bool // never started: a lower index had already solved
+	nodes     int64
+}
+
+// exactParallel fans the first branch level out over a bounded worker
+// pool. Aggregation mirrors the serial candidate loop: the surviving
+// solution is the one from the lowest root index, and completeness holds
+// only if every subtree that the serial search would have visited ran to
+// completion.
+func exactParallel(r ring.Ring, n int, opts ExactOptions, workers int) ExactOutcome {
+	root := newExactState(r, n, opts)
+	if root.uncovered == 0 {
+		root.solution = [][]int{}
+		return root.outcome(true, 0)
+	}
+	if root.pruned(0) {
+		return ExactOutcome{Complete: true}
+	}
+	u, v := root.pickBranchPair()
+	cands := root.candidates(u, v)
+	if len(cands) == 0 {
+		return ExactOutcome{Complete: true}
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+
+	var (
+		shared  atomic.Int64 // node budget, drawn by every worker
+		bestIdx atomic.Int64 // lowest root index with a solution
+		next    atomic.Int64 // work queue cursor
+	)
+	bestIdx.Store(math.MaxInt64)
+	results := make([]subOutcome, len(cands))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(cands)) {
+					return
+				}
+				if bestIdx.Load() < i {
+					results[i] = subOutcome{skipped: true}
+					continue
+				}
+				st := newExactState(r, n, opts)
+				st.shared = &shared
+				st.bestIdx = &bestIdx
+				st.myIdx = i
+				if !st.countNode() {
+					results[i] = subOutcome{nodes: st.nodes}
+					continue
+				}
+				newly := st.apply(cands[i])
+				st.chosen = append(st.chosen, cands[i].verts)
+				done := st.search(1)
+				st.undo(newly)
+				results[i] = subOutcome{
+					solution:  st.solution,
+					complete:  done,
+					cancelled: st.cancelled,
+					nodes:     st.nodes,
+				}
+				if st.solution != nil {
+					// CAS-min: later workers with higher indexes cancel.
+					for {
+						cur := bestIdx.Load()
+						if i >= cur || bestIdx.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var nodes int64
+	for _, res := range results {
+		nodes += res.nodes
+	}
+	// Scan root candidates in serial order. The first subtree holding a
+	// solution supplies the result; a budget-interrupted subtree before it
+	// means the prefix the serial search relies on was not exhausted, so
+	// the outcome cannot claim completeness.
+	complete := true
+	for i, res := range results {
+		if res.solution != nil {
+			st := &exactState{r: r, solution: results[i].solution}
+			return st.outcome(true, nodes)
+		}
+		if res.skipped || res.cancelled || !res.complete {
+			complete = false
+		}
+	}
+	return ExactOutcome{Complete: complete, Nodes: nodes}
 }
 
 // pickBranchPair selects the uncovered pair with maximum short-arc
@@ -174,6 +357,13 @@ func (s *exactState) pickBranchPair() (int, int) {
 		}
 	}
 	return bestU, bestV
+}
+
+func (s *exactState) pairIdx(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*s.n + v
 }
 
 type candidate struct {

@@ -42,7 +42,16 @@ func VerifyDRC(r ring.Ring, c Cycle) error {
 //  3. every demand edge is covered at least its multiplicity.
 //
 // It returns nil iff the covering is a valid DRC-covering of the demand.
+// A nil covering or nil demand is an error, not a panic: zero-value
+// instances (e.g. the Instance returned alongside a parse error) reach
+// this boundary from untrusted callers.
 func Verify(cv *Covering, demand *graph.Graph) error {
+	if cv == nil {
+		return fmt.Errorf("cover: nil covering")
+	}
+	if demand == nil {
+		return fmt.Errorf("cover: nil demand graph (zero-value instance?)")
+	}
 	for i, c := range cv.Cycles {
 		for _, v := range c.Vertices() {
 			if !cv.Ring.Valid(v) {

@@ -99,24 +99,52 @@ func Cycle(n int) *Graph {
 	return g
 }
 
-// N returns the number of vertices.
-func (g *Graph) N() int { return g.n }
+// N returns the number of vertices. A nil graph — the demand of a
+// zero-value instance — has none; the read accessors (N, M,
+// DistinctEdges, Degree, Multiplicity, HasEdge, Edges,
+// EdgesWithMultiplicity, Neighbors) are nil-safe so that handing such
+// an instance to a size or membership check reports emptiness instead
+// of panicking. Everything else — mutation, cloning, traversal — still
+// requires a graph built by New.
+func (g *Graph) N() int {
+	if g == nil {
+		return 0
+	}
+	return g.n
+}
 
-// M returns the number of edges counted with multiplicity.
-func (g *Graph) M() int { return g.m }
+// M returns the number of edges counted with multiplicity; 0 for nil.
+func (g *Graph) M() int {
+	if g == nil {
+		return 0
+	}
+	return g.m
+}
 
 // DistinctEdges returns the number of distinct vertex pairs with at least
-// one edge.
-func (g *Graph) DistinctEdges() int { return len(g.mult) }
+// one edge; 0 for nil.
+func (g *Graph) DistinctEdges() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.mult)
+}
 
-// Degree returns the degree of v counted with multiplicity.
+// Degree returns the degree of v counted with multiplicity; 0 for nil.
 func (g *Graph) Degree(v int) int {
+	if g == nil {
+		return 0
+	}
 	g.check(v)
 	return g.deg[v]
 }
 
-// Multiplicity returns the number of parallel edges between u and v.
+// Multiplicity returns the number of parallel edges between u and v;
+// 0 for nil.
 func (g *Graph) Multiplicity(u, v int) int {
+	if g == nil {
+		return 0
+	}
 	g.check(u)
 	g.check(v)
 	if u == v {
@@ -168,8 +196,12 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	return true
 }
 
-// Edges returns the distinct edges in deterministic (sorted) order.
+// Edges returns the distinct edges in deterministic (sorted) order;
+// nil for a nil graph.
 func (g *Graph) Edges() []Edge {
+	if g == nil {
+		return nil
+	}
 	es := make([]Edge, 0, len(g.mult))
 	for e := range g.mult {
 		es = append(es, e)
@@ -184,8 +216,11 @@ func (g *Graph) Edges() []Edge {
 }
 
 // EdgesWithMultiplicity returns every edge repeated by its multiplicity,
-// in deterministic order.
+// in deterministic order; nil for a nil graph.
 func (g *Graph) EdgesWithMultiplicity() []Edge {
+	if g == nil {
+		return nil
+	}
 	es := make([]Edge, 0, g.m)
 	for _, e := range g.Edges() {
 		for i := 0; i < g.mult[e]; i++ {
@@ -195,8 +230,12 @@ func (g *Graph) EdgesWithMultiplicity() []Edge {
 	return es
 }
 
-// Neighbors returns the distinct neighbours of v in ascending order.
+// Neighbors returns the distinct neighbours of v in ascending order;
+// nil for a nil graph.
 func (g *Graph) Neighbors(v int) []int {
+	if g == nil {
+		return nil
+	}
 	g.check(v)
 	var ns []int
 	for e := range g.mult {

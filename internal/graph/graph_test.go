@@ -296,3 +296,19 @@ func TestCheckPanics(t *testing.T) {
 	}()
 	g.Degree(7)
 }
+
+// TestNilGraphReadAccessors pins the nil-safety contract stated on N:
+// every read accessor answers emptiness on a nil graph — the demand of
+// a zero-value instance — instead of panicking.
+func TestNilGraphReadAccessors(t *testing.T) {
+	var g *Graph
+	if g.N() != 0 || g.M() != 0 || g.DistinctEdges() != 0 {
+		t.Error("nil graph sizes must be 0")
+	}
+	if g.Degree(0) != 0 || g.Multiplicity(0, 1) != 0 || g.HasEdge(0, 1) {
+		t.Error("nil graph membership checks must report emptiness")
+	}
+	if g.Edges() != nil || g.EdgesWithMultiplicity() != nil || g.Neighbors(0) != nil {
+		t.Error("nil graph enumerations must be nil")
+	}
+}

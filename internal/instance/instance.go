@@ -8,6 +8,7 @@ package instance
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -21,10 +22,12 @@ type Instance struct {
 	Demand *graph.Graph
 }
 
-// N returns the number of vertices.
+// N returns the number of vertices. A zero-value Instance (e.g. what
+// Parse returns alongside an error) has no demand graph and reports 0.
 func (in Instance) N() int { return in.Demand.N() }
 
-// Requests returns the number of demand edges counted with multiplicity.
+// Requests returns the number of demand edges counted with multiplicity;
+// 0 for a zero-value Instance.
 func (in Instance) Requests() int { return in.Demand.M() }
 
 // AllToAll is the total exchange instance: every pair communicates, the
@@ -61,9 +64,14 @@ func Hub(n, hub int) Instance {
 }
 
 // RandomSymmetric samples each pair independently with probability
-// density, using the given seed for reproducibility. Density is clamped
-// to [0, 1].
-func RandomSymmetric(n int, density float64, seed int64) Instance {
+// density, using the given seed for reproducibility. Finite densities
+// outside [0, 1] are clamped; a non-finite density (NaN, ±Inf) is an
+// error — NaN in particular compares false against both clamp bounds
+// and would otherwise silently yield an empty demand.
+func RandomSymmetric(n int, density float64, seed int64) (Instance, error) {
+	if math.IsNaN(density) || math.IsInf(density, 0) {
+		return Instance{}, fmt.Errorf("instance: random density must be a finite number in [0, 1], got %v", density)
+	}
 	if density < 0 {
 		density = 0
 	}
@@ -82,7 +90,7 @@ func RandomSymmetric(n int, density float64, seed int64) Instance {
 	return Instance{
 		Name:   fmt.Sprintf("random(n=%d, d=%.2f, seed=%d)", n, density, seed),
 		Demand: g,
-	}
+	}, nil
 }
 
 // MaxParseLambda bounds the λ accepted by Parse. Untrusted specs reach
@@ -109,28 +117,33 @@ func Parse(n int, spec string) (Instance, error) {
 	case strings.HasPrefix(spec, "lambda:"):
 		k, err := strconv.Atoi(strings.TrimPrefix(spec, "lambda:"))
 		if err != nil || k < 1 || k > MaxParseLambda {
-			return Instance{}, fmt.Errorf("bad lambda spec %q", spec)
+			return Instance{}, fmt.Errorf("bad lambda spec %q: want lambda:<k> with integer k in [1, %d]", spec, MaxParseLambda)
 		}
 		return Lambda(n, k), nil
 	case strings.HasPrefix(spec, "hub:"):
 		h, err := strconv.Atoi(strings.TrimPrefix(spec, "hub:"))
 		if err != nil || h < 0 || h >= n {
-			return Instance{}, fmt.Errorf("bad hub spec %q", spec)
+			return Instance{}, fmt.Errorf("bad hub spec %q: want hub:<node> with integer node in [0, %d)", spec, n)
 		}
 		return Hub(n, h), nil
 	case strings.HasPrefix(spec, "random:"):
 		parts := strings.Split(spec, ":")
 		if len(parts) != 3 {
-			return Instance{}, fmt.Errorf("bad random spec %q (want random:<density>:<seed>)", spec)
+			return Instance{}, fmt.Errorf("bad random spec %q: want random:<density>:<seed> with density in [0, 1] and integer seed", spec)
 		}
 		d, err1 := strconv.ParseFloat(parts[1], 64)
 		s, err2 := strconv.ParseInt(parts[2], 10, 64)
 		if err1 != nil || err2 != nil {
-			return Instance{}, fmt.Errorf("bad random spec %q", spec)
+			return Instance{}, fmt.Errorf("bad random spec %q: want random:<density>:<seed> with density in [0, 1] and integer seed", spec)
 		}
-		return RandomSymmetric(n, d, s), nil
+		// ParseFloat accepts "NaN" and "Inf"; those must not reach the
+		// sampler, whose clamps NaN would slip straight through.
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return Instance{}, fmt.Errorf("bad random spec %q: density must be a finite number in [0, 1]", spec)
+		}
+		return RandomSymmetric(n, d, s)
 	default:
-		return Instance{}, fmt.Errorf("unknown demand %q", spec)
+		return Instance{}, fmt.Errorf("unknown demand %q: want alltoall, lambda:<k>, hub:<node>, neighbors, or random:<density>:<seed>", spec)
 	}
 }
 

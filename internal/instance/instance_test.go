@@ -1,6 +1,8 @@
 package instance
 
 import (
+	"math"
+	"strings"
 	"testing"
 )
 
@@ -56,8 +58,8 @@ func TestHub(t *testing.T) {
 }
 
 func TestRandomSymmetricReproducible(t *testing.T) {
-	a := RandomSymmetric(12, 0.4, 7)
-	b := RandomSymmetric(12, 0.4, 7)
+	a, _ := RandomSymmetric(12, 0.4, 7)
+	b, _ := RandomSymmetric(12, 0.4, 7)
 	if a.Requests() != b.Requests() {
 		t.Fatal("same seed must give same instance")
 	}
@@ -67,7 +69,7 @@ func TestRandomSymmetricReproducible(t *testing.T) {
 			t.Fatal("same seed must give same edges")
 		}
 	}
-	c := RandomSymmetric(12, 0.4, 8)
+	c, _ := RandomSymmetric(12, 0.4, 8)
 	if c.Requests() == a.Requests() {
 		// Not impossible, but the edge sets should differ.
 		same := true
@@ -85,11 +87,83 @@ func TestRandomSymmetricReproducible(t *testing.T) {
 }
 
 func TestRandomSymmetricDensityClamp(t *testing.T) {
-	if got := RandomSymmetric(8, -1, 1).Requests(); got != 0 {
+	lo, err := RandomSymmetric(8, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lo.Requests(); got != 0 {
 		t.Errorf("density<0: %d requests, want 0", got)
 	}
-	if got := RandomSymmetric(8, 2, 1).Requests(); got != 28 {
+	hi, err := RandomSymmetric(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hi.Requests(); got != 28 {
 		t.Errorf("density>1: %d requests, want all 28", got)
+	}
+}
+
+func TestRandomSymmetricRejectsNonFinite(t *testing.T) {
+	for _, d := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := RandomSymmetric(8, d, 1); err == nil {
+			t.Errorf("density %v: want error, got none", d)
+		}
+	}
+}
+
+// TestParseRejectsNonFiniteDensity: strconv.ParseFloat happily accepts
+// "NaN" and "Inf", so the parser must reject them itself.
+func TestParseRejectsNonFiniteDensity(t *testing.T) {
+	for _, spec := range []string{"random:NaN:1", "random:Inf:1", "random:-Inf:1", "random:+Inf:7"} {
+		if _, err := Parse(9, spec); err == nil {
+			t.Errorf("Parse(9, %q): want error, got none", spec)
+		}
+	}
+}
+
+// TestParseErrorsNameValidRanges pins the error-message contract: every
+// spec rejection tells the caller what would have been accepted.
+func TestParseErrorsNameValidRanges(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring the error must carry
+	}{
+		{"hub:9", "[0, 9)"},
+		{"hub:-1", "[0, 9)"},
+		{"hub:x", "hub:<node>"},
+		{"lambda:0", "[1, 1048576]"},
+		{"lambda:9999999999", "[1, 1048576]"},
+		{"lambda:x", "lambda:<k>"},
+		{"random:0.5", "random:<density>:<seed>"},
+		{"random:x:1", "random:<density>:<seed>"},
+		{"random:NaN:1", "finite number in [0, 1]"},
+		{"bogus", "alltoall, lambda:<k>, hub:<node>, neighbors, or random:<density>:<seed>"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(9, tc.spec)
+		if err == nil {
+			t.Errorf("Parse(9, %q): want error, got none", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(9, %q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestZeroValueInstanceIsNilSafe: the zero Instance (what Parse returns
+// beside an error) must answer size queries with 0, not panic.
+func TestZeroValueInstanceIsNilSafe(t *testing.T) {
+	var in Instance
+	if in.N() != 0 || in.Requests() != 0 {
+		t.Errorf("zero instance: N=%d requests=%d, want 0/0", in.N(), in.Requests())
+	}
+	bad, err := Parse(9, "hub:99")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if bad.N() != 0 || bad.Requests() != 0 {
+		t.Errorf("error-path instance: N=%d requests=%d, want 0/0", bad.N(), bad.Requests())
 	}
 }
 

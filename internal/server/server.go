@@ -1,6 +1,9 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -106,6 +109,7 @@ func New(cfg Config) *Server {
 		requests: make(map[string]uint64),
 	}
 	s.mux.HandleFunc("/plan", s.handlePlan)
+	s.mux.HandleFunc("/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/verify", s.handleVerify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -178,47 +182,31 @@ type wdmNetwork struct {
 	cost        float64
 }
 
-// handlePlan serves GET/POST /plan?n=<int>&demand=<spec>. The covering
-// and its WDM plan are computed through the worker pool and covering
-// cache; the X-Cache header reports HIT when the plan came from memory.
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.count("/plan")
-	if r.Method != http.MethodGet && r.Method != http.MethodPost {
-		w.Header().Set("Allow", "GET, POST")
-		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
-		return
-	}
-	nStr := r.FormValue("n")
-	if nStr == "" {
-		writeError(w, http.StatusBadRequest, "missing required parameter n")
-		return
-	}
-	n, err := strconv.Atoi(nStr)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad n %q: %v", nStr, err)
-		return
-	}
+// planOne validates one (n, demand-spec) request and computes its plan
+// through the worker pool and covering cache. On failure it returns the
+// HTTP status the error maps to (400 for malformed input, 503 while
+// shutting down or when the caller gave up, 500 otherwise). It is the
+// shared execution path of /plan and /plan/batch: identical requests in
+// flight — whether from single or batch callers — coalesce on the pool's
+// same-signature batching and the cache's single flight.
+func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse, int, error) {
 	if err := checkRingSize(n); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return planResponse{}, http.StatusBadRequest, err
 	}
-	spec := r.FormValue("demand")
 	if spec == "" {
 		spec = "alltoall"
 	}
 	in, err := instance.Parse(n, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return planResponse{}, http.StatusBadRequest, err
 	}
 	if err := checkDemandSize(in); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return planResponse{}, http.StatusBadRequest, err
 	}
 
 	opts := cache.Options{}
 	sig := cache.Signature(in, opts)
-	v, err := s.pool.Submit(r.Context(), sig, func() (any, error) {
+	v, err := s.pool.Submit(ctx, sig, func() (any, error) {
 		res, coverHit, err := s.plans.Cover(in, opts)
 		if err != nil {
 			return nil, err
@@ -240,11 +228,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || r.Context().Err() != nil {
+		if errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || ctx.Err() != nil {
 			status = http.StatusServiceUnavailable
 		}
-		writeError(w, status, "plan failed: %v", err)
-		return
+		return planResponse{}, status, fmt.Errorf("plan failed: %w", err)
 	}
 	pl := v.(planned)
 
@@ -267,12 +254,162 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	for _, c := range pl.res.Covering.Cycles {
 		resp.Cycles = append(resp.Cycles, c.Vertices())
 	}
-	if pl.hit {
+	return resp, http.StatusOK, nil
+}
+
+// handlePlan serves GET/POST /plan?n=<int>&demand=<spec>. The covering
+// and its WDM plan are computed through the worker pool and covering
+// cache; the X-Cache header reports HIT when the plan came from memory.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.count("/plan")
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	nStr := r.FormValue("n")
+	if nStr == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter n")
+		return
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad n %q: %v", nStr, err)
+		return
+	}
+	resp, status, err := s.planOne(r.Context(), n, r.FormValue("demand"))
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	if resp.CacheHit {
 		w.Header().Set("X-Cache", "HIT")
 	} else {
 		w.Header().Set("X-Cache", "MISS")
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// MaxBatchItems bounds how many plan requests one /plan/batch call may
+// carry. Each item costs a goroutine and a pool submission; a bulk
+// caller with more work splits it across requests.
+const MaxBatchItems = 1024
+
+// maxBatchBody bounds the /plan/batch request body.
+const maxBatchBody = 8 << 20
+
+// maxBatchLine bounds one NDJSON line of a batch; any well-formed plan
+// request is a few dozen bytes, so this is pure headroom.
+const maxBatchLine = 1 << 20
+
+// batchPlanRequest is one NDJSON line of a POST /plan/batch body.
+type batchPlanRequest struct {
+	N      int    `json:"n"`
+	Demand string `json:"demand"` // spec; empty means alltoall
+}
+
+// batchPlanLine is one NDJSON line of the /plan/batch response: the
+// zero-based index of the request line it answers, plus either the plan
+// or that item's error. Lines stream in completion order, not input
+// order — the index is the join key.
+type batchPlanLine struct {
+	Index int           `json:"index"`
+	Plan  *planResponse `json:"plan,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// handlePlanBatch serves POST /plan/batch: a newline-delimited JSON
+// stream of plan requests, answered by a newline-delimited JSON stream
+// of results written as they complete. All items run concurrently
+// through the same bounded worker pool as /plan — same-signature items
+// (within the batch or against live /plan traffic) attach to one job —
+// and per-item failures are reported in-line without failing the batch.
+func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
+	s.count("/plan/batch")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	type batchItem struct {
+		req batchPlanRequest
+		err error // line-level parse failure, reported in that slot
+	}
+	var items []batchItem
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxBatchLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if len(items) == MaxBatchItems {
+			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d items", MaxBatchItems)
+			return
+		}
+		var req batchPlanRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			items = append(items, batchItem{err: fmt.Errorf("bad batch line: %v", err)})
+			continue
+		}
+		items = append(items, batchItem{req: req})
+	}
+	if err := sc.Err(); err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge, "batch body exceeds %d bytes", tooBig.Limit)
+		case errors.Is(err, bufio.ErrTooLong):
+			// The scanner cannot resync past an over-long line, so this is
+			// a whole-request failure, not a per-item error line.
+			writeError(w, http.StatusRequestEntityTooLarge, "batch line exceeds %d bytes", maxBatchLine)
+		default:
+			writeError(w, http.StatusBadRequest, "reading batch: %v", err)
+		}
+		return
+	}
+	if len(items) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: want one JSON plan request per line")
+		return
+	}
+
+	results := make(chan batchPlanLine)
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it batchItem) {
+			defer wg.Done()
+			if it.err != nil {
+				results <- batchPlanLine{Index: i, Error: it.err.Error()}
+				return
+			}
+			resp, _, err := s.planOne(r.Context(), it.req.N, it.req.Demand)
+			if err != nil {
+				results <- batchPlanLine{Index: i, Error: err.Error()}
+				return
+			}
+			results <- batchPlanLine{Index: i, Plan: &resp}
+		}(i, it)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Stream each result the moment it lands; the client correlates lines
+	// by index. Headers are committed before the first line, so per-item
+	// errors ride inside the stream rather than as an HTTP status.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for line := range results {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // verifyRequest is the JSON body of POST /verify: a covering in the

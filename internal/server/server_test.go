@@ -351,3 +351,195 @@ func TestConcurrentPlans(t *testing.T) {
 		t.Fatalf("constructions exceeded distinct signatures: %+v", st)
 	}
 }
+
+// postNDJSON posts raw NDJSON to url and returns the parsed response
+// lines.
+func postNDJSON(t *testing.T, url, body string) (*http.Response, []batchPlanLine) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var lines []batchPlanLine
+	for _, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if ln == "" {
+			continue
+		}
+		var l batchPlanLine
+		if err := json.Unmarshal([]byte(ln), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		lines = append(lines, l)
+	}
+	return resp, lines
+}
+
+// TestPlanBatchMixedItems drives /plan/batch with valid, invalid and
+// malformed lines at once: every line gets exactly one answer, failures
+// stay in their slot, and the batch itself still succeeds.
+func TestPlanBatchMixedItems(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := strings.Join([]string{
+		`{"n": 9}`,                             // 0: odd all-to-all
+		`{"n": 8, "demand": "alltoall"}`,       // 1: even all-to-all
+		`{"n": 10, "demand": "hub:3"}`,         // 2: hub
+		`{"n": 9, "demand": "hub:99"}`,         // 3: out-of-range hub → error
+		`{"n": 2}`,                             // 4: ring too small → error
+		`not json at all`,                      // 5: malformed line → error
+		`{"n": 9, "demand": "random:NaN:1"}`,   // 6: non-finite density → error
+		`{"n": 7, "demand": "lambda:2"}`,       // 7: λK_n
+	}, "\n")
+	resp, lines := postNDJSON(t, ts.URL+"/plan/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if len(lines) != 8 {
+		t.Fatalf("got %d result lines, want 8", len(lines))
+	}
+	byIndex := map[int]batchPlanLine{}
+	for _, l := range lines {
+		if _, dup := byIndex[l.Index]; dup {
+			t.Fatalf("index %d answered twice", l.Index)
+		}
+		byIndex[l.Index] = l
+	}
+	wantErr := map[int]string{
+		3: "[0, 9)",    // hub range must be named
+		4: "",          // ring too small
+		5: "bad batch line",
+		6: "finite",    // non-finite density must be named
+	}
+	for i := 0; i < 8; i++ {
+		l, ok := byIndex[i]
+		if !ok {
+			t.Fatalf("no answer for index %d", i)
+		}
+		if substr, bad := wantErr[i]; bad {
+			if l.Error == "" || l.Plan != nil {
+				t.Fatalf("index %d: want error line, got %+v", i, l)
+			}
+			if !strings.Contains(l.Error, substr) {
+				t.Fatalf("index %d: error %q does not mention %q", i, l.Error, substr)
+			}
+			continue
+		}
+		if l.Error != "" || l.Plan == nil {
+			t.Fatalf("index %d: want plan, got error %q", i, l.Error)
+		}
+		if l.Plan.Size == 0 || len(l.Plan.Cycles) != l.Plan.Size {
+			t.Fatalf("index %d: inconsistent plan %+v", i, l.Plan)
+		}
+	}
+	if byIndex[0].Plan.Rho != 10 || byIndex[0].Plan.N != 9 {
+		t.Fatalf("index 0: rho/n = %d/%d, want 10/9", byIndex[0].Plan.Rho, byIndex[0].Plan.N)
+	}
+}
+
+// TestPlanBatchCoalescesDuplicates: a batch of identical requests must
+// cost one construction — the pool's same-signature batching and the
+// cache's single flight both serve the batch path.
+func TestPlanBatchCoalescesDuplicates(t *testing.T) {
+	s, ts := newTestServer(t)
+	var b strings.Builder
+	const items = 24
+	for i := 0; i < items; i++ {
+		b.WriteString(`{"n": 13}` + "\n")
+	}
+	resp, lines := postNDJSON(t, ts.URL+"/plan/batch", b.String())
+	if resp.StatusCode != http.StatusOK || len(lines) != items {
+		t.Fatalf("status %d, %d lines", resp.StatusCode, len(lines))
+	}
+	for _, l := range lines {
+		if l.Error != "" || l.Plan == nil || l.Plan.Size != 21 {
+			t.Fatalf("line %+v: want a 21-cycle K_13 plan", l)
+		}
+	}
+	if st := s.Plans().Stats(); st.Coverings.Misses != 1 {
+		t.Fatalf("%d constructions for %d identical batch items, want 1", st.Coverings.Misses, items)
+	}
+}
+
+// TestPlanBatchRequestValidation covers the whole-request failures.
+func TestPlanBatchRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := get(t, ts.URL+"/plan/batch")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405 (%s)", resp.StatusCode, body)
+	}
+
+	resp, _ = postNDJSON(t, ts.URL+"/plan/batch", "\n\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+
+	var big strings.Builder
+	for i := 0; i <= MaxBatchItems; i++ {
+		big.WriteString(`{"n": 9}` + "\n")
+	}
+	resp, _ = postNDJSON(t, ts.URL+"/plan/batch", big.String())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestPlanRejectsNonFiniteDensity pins the HTTP mapping of the NaN
+// density bug: strconv parses "NaN", the demand parser must refuse it,
+// and the handler must answer 400 — not 200 with an empty demand.
+func TestPlanRejectsNonFiniteDensity(t *testing.T) {
+	_, ts := newTestServer(t)
+	// %2B is "+": unescaped it would decode to a space and fail parsing
+	// for the wrong reason.
+	for _, spec := range []string{"random:NaN:1", "random:Inf:1", "random:-Inf:2", "random:%2BInf:3"} {
+		resp, body := get(t, ts.URL+"/plan?n=9&demand="+spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400 (body %s)", spec, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "finite") {
+			t.Fatalf("%s: error %s does not name the finite-density requirement", spec, body)
+		}
+	}
+}
+
+// BenchmarkPlanBatchWarm measures the NDJSON batch path against a warm
+// cache: per-item cost is validation + pool round-trip + clone/encode.
+func BenchmarkPlanBatchWarm(b *testing.B) {
+	s := New(Config{CacheSize: 64, Workers: 4, Queue: 32})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var body strings.Builder
+	for _, n := range []int{9, 10, 11, 12, 13, 9, 11, 13} {
+		fmt.Fprintf(&body, "{\"n\": %d}\n", n)
+	}
+	warm, err := http.Post(ts.URL+"/plan/batch", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/plan/batch", "application/x-ndjson", strings.NewReader(body.String()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || strings.Count(string(out), "\n") != 8 {
+			b.Fatalf("status %d, %d lines", resp.StatusCode, strings.Count(string(out), "\n"))
+		}
+	}
+}

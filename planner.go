@@ -1,6 +1,9 @@
 package cyclecover
 
 import (
+	"runtime"
+	"sync"
+
 	"github.com/cyclecover/cyclecover/internal/cache"
 )
 
@@ -74,3 +77,64 @@ func (p *Planner) PlanWDM(in Instance) (*Network, error) {
 
 // CacheStats returns the planner's cache counters.
 func (p *Planner) CacheStats() CacheStats { return p.plans.Stats() }
+
+// PlanManyResult is one instance's outcome from PlanMany. Exactly one of
+// Err or the (Covering, Network) pair is meaningful; Covering is the
+// caller's private clone, Network is shared and read-only.
+type PlanManyResult struct {
+	Covering *Covering
+	Network  *Network
+	Err      error
+}
+
+// PlanMany plans a heterogeneous batch of instances through the cache
+// with a bounded worker pool, returning results in input order. Repeated
+// or concurrent duplicates of one signature cost a single construction
+// (the cache single-flights them), so bulk workloads with overlapping
+// instance classes scale with the number of distinct signatures, not the
+// batch size. workers ≤ 0 selects GOMAXPROCS. A zero-value instance in
+// the batch yields an error in its slot, never a panic, and does not
+// affect the other slots.
+func (p *Planner) PlanMany(ins []Instance, workers int) []PlanManyResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	out := make([]PlanManyResult, len(ins))
+	if len(ins) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = p.planOne(ins[i])
+			}
+		}()
+	}
+	for i := range ins {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// planOne computes one PlanMany slot: cached covering plus cached WDM
+// network for the instance.
+func (p *Planner) planOne(in Instance) PlanManyResult {
+	res, _, err := p.plans.Cover(in, cache.Options{})
+	if err != nil {
+		return PlanManyResult{Err: err}
+	}
+	nw, _, err := p.plans.Network(in, cache.Options{})
+	if err != nil {
+		return PlanManyResult{Err: err}
+	}
+	return PlanManyResult{Covering: res.Covering, Network: nw}
+}

@@ -150,3 +150,106 @@ func BenchmarkPlannerPlanWDMWarm(b *testing.B) {
 		}
 	}
 }
+
+// TestPlanManyMixedBatch plans a heterogeneous batch — duplicates, all
+// spec families, and a poisoned zero-value instance — and checks order
+// preservation, per-slot errors, and single-construction deduplication.
+func TestPlanManyMixedBatch(t *testing.T) {
+	p := NewPlanner()
+	random, err := RandomInstance(9, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []Instance{
+		AllToAll(9),
+		AllToAll(9), // duplicate signature: must not construct twice
+		Hub(10, 3),
+		Neighbors(9),
+		random,
+		LambdaAllToAll(7, 2),
+		{}, // zero value: error slot, not a panic
+		AllToAll(9),
+	}
+	results := p.PlanMany(ins, 4)
+	if len(results) != len(ins) {
+		t.Fatalf("got %d results for %d instances", len(results), len(ins))
+	}
+	for i, res := range results {
+		if i == 6 {
+			if res.Err == nil {
+				t.Fatalf("slot %d: zero-value instance must error", i)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("slot %d (%s): %v", i, ins[i].Name, res.Err)
+		}
+		if err := Verify(res.Covering, ins[i]); err != nil {
+			t.Fatalf("slot %d (%s): covering invalid: %v", i, ins[i].Name, err)
+		}
+		if res.Network == nil || len(res.Network.Subnets) != res.Covering.Size() {
+			t.Fatalf("slot %d (%s): network inconsistent with covering", i, ins[i].Name)
+		}
+	}
+	// Slots 0, 1 and 7 share one signature and slot 6 never constructs,
+	// leaving five distinct signatures.
+	if st := p.CacheStats(); st.Coverings.Misses != 5 {
+		t.Fatalf("coverings misses = %d, want 5 (one per distinct signature)", st.Coverings.Misses)
+	}
+}
+
+// TestPlanManyEmptyAndSerial covers the edges: empty batch, and workers
+// clamped to batch size / forced serial.
+func TestPlanManyEmptyAndSerial(t *testing.T) {
+	p := NewPlanner()
+	if got := p.PlanMany(nil, 8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	results := p.PlanMany([]Instance{AllToAll(5)}, 1)
+	if len(results) != 1 || results[0].Err != nil || results[0].Covering.Size() != 3 {
+		t.Fatalf("serial PlanMany broken: %+v", results)
+	}
+}
+
+// TestPlanManyConcurrentBatches runs several PlanMany calls on one
+// planner at once; with -race this checks the fan-out workers against
+// the sharded cache.
+func TestPlanManyConcurrentBatches(t *testing.T) {
+	p := NewPlanner()
+	ins := []Instance{AllToAll(9), AllToAll(11), Hub(9, 0), Neighbors(8)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, res := range p.PlanMany(ins, 0) {
+				if res.Err != nil {
+					t.Error(res.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := p.CacheStats(); st.Coverings.Misses != uint64(len(ins)) {
+		t.Fatalf("misses = %d, want %d", st.Coverings.Misses, len(ins))
+	}
+}
+
+// BenchmarkPlanManyWarm is the facade batch path against a warm cache.
+func BenchmarkPlanManyWarm(b *testing.B) {
+	p := NewPlanner()
+	ins := []Instance{
+		AllToAll(9), AllToAll(11), AllToAll(13), Hub(12, 0), Neighbors(10),
+		AllToAll(9), AllToAll(11), AllToAll(13),
+	}
+	p.PlanMany(ins, 0) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, res := range p.PlanMany(ins, 0) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
