@@ -7,13 +7,23 @@
 //	cyclecover -n 12 -demand hub:0        # greedy covering of hubbed demand
 //	cyclecover -n 8 -demand lambda:2      # covering of 2K_8
 //	cyclecover -n 14 -demand random:0.3:7 # random demand, density 0.3, seed 7
+//	cyclecover -n 12 -strategy exact      # force one construction strategy
+//	cyclecover -n 20 -strategy portfolio -timeout 5s
+//
+// -strategy selects a construction path from the strategy registry
+// (closed-form, exact, repair, greedy, or portfolio to race them);
+// without it the default pipeline picks by demand class. -timeout bounds
+// the construction: on expiry the search is cancelled mid-branch and the
+// command exits non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	cyclecover "github.com/cyclecover/cyclecover"
 )
@@ -21,6 +31,7 @@ import (
 type output struct {
 	N         int     `json:"n"`
 	Demand    string  `json:"demand"`
+	Strategy  string  `json:"strategy,omitempty"`
 	Cycles    [][]int `json:"cycles"`
 	Size      int     `json:"size"`
 	Rho       int     `json:"rho,omitempty"`
@@ -35,6 +46,9 @@ func main() {
 	n := flag.Int("n", 9, "ring size (>= 3)")
 	demandSpec := flag.String("demand", "alltoall",
 		"demand: alltoall | lambda:<k> | hub:<node> | neighbors | random:<density>:<seed>")
+	strategy := flag.String("strategy", "",
+		"construction strategy: "+strings.Join(cyclecover.Strategies(), " | ")+" (default: pick by demand class)")
+	timeout := flag.Duration("timeout", 0, "construction deadline; expiry cancels the search mid-branch (0 = none)")
 	asJSON := flag.Bool("json", false, "emit JSON")
 	quiet := flag.Bool("quiet", false, "suppress per-cycle listing")
 	flag.Parse()
@@ -44,12 +58,25 @@ func main() {
 		fatal(err)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var cv *cyclecover.Covering
 	optimal := false
-	if *demandSpec == "alltoall" {
-		cv, optimal, err = cyclecover.CoverAllToAll(*n)
-	} else {
-		cv, err = cyclecover.CoverInstance(in)
+	switch {
+	case *strategy != "":
+		cv, err = cyclecover.CoverInstanceStrategy(ctx, in, *strategy)
+		if err == nil {
+			optimal = *demandSpec == "alltoall" && cv.Size() == cyclecover.Rho(*n)
+		}
+	case *demandSpec == "alltoall":
+		cv, optimal, err = cyclecover.CoverAllToAllCtx(ctx, *n)
+	default:
+		cv, err = cyclecover.CoverInstanceCtx(ctx, in)
 	}
 	if err != nil {
 		fatal(err)
@@ -60,6 +87,7 @@ func main() {
 		out := output{
 			N:         *n,
 			Demand:    in.Name,
+			Strategy:  *strategy,
 			Size:      cv.Size(),
 			Optimal:   optimal,
 			Triangles: cv.NumTriangles(),
@@ -82,6 +110,9 @@ func main() {
 	}
 
 	fmt.Printf("demand: %s\n", in.Name)
+	if *strategy != "" {
+		fmt.Printf("strategy: %s\n", *strategy)
+	}
 	fmt.Println(cyclecover.Describe(cv))
 	if *demandSpec == "alltoall" {
 		fmt.Printf("rho(%d) = %d, optimal certified: %v\n", *n, cyclecover.Rho(*n), optimal)

@@ -16,6 +16,15 @@
 //
 //	cycled                        # listen on :8337
 //	cycled -addr 127.0.0.1:9000 -workers 8 -cache 512 -queue 128
+//	cycled -plan-timeout 2s       # bound each plan request; expiry → 504
+//
+// With -plan-timeout set, every /plan and /plan/batch request runs under
+// that deadline: on expiry the client receives 504 with a structured
+// body, and the construction search itself is cancelled mid-search
+// (branch-and-bound stops within one node expansion) unless another
+// in-flight request still wants the result. Strategy selection is per
+// request via ?strategy= (closed-form, exact, repair, greedy,
+// portfolio); the default is the fixed pipeline.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // in-flight requests drain (bounded by -drain), then the worker pool
@@ -43,12 +52,13 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "covering cache capacity per store (0 = default)")
 	queue := flag.Int("queue", 64, "planner queue bound")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	planTimeout := flag.Duration("plan-timeout", 0, "per-request plan deadline; expiry answers 504 and cancels the search (0 = none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue}
+	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue, PlanTimeout: *planTimeout}
 	if err := run(ctx, *addr, cfg, *drain, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cycled:", err)
 		os.Exit(1)
@@ -69,8 +79,8 @@ func run(ctx context.Context, addr string, cfg server.Config, drain time.Duratio
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "cycled: listening on %s (workers=%d cache=%d queue=%d)\n",
-		ln.Addr(), cfg.Workers, cfg.CacheSize, cfg.Queue)
+	fmt.Fprintf(logw, "cycled: listening on %s (workers=%d cache=%d queue=%d plan-timeout=%s)\n",
+		ln.Addr(), cfg.Workers, cfg.CacheSize, cfg.Queue, cfg.PlanTimeout)
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}

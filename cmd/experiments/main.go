@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/cyclecover/cyclecover/internal/bench"
 )
@@ -41,7 +44,12 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	if err := run(w, *quick); err != nil {
+	// SIGINT/SIGTERM cancel the sweep context: rows not yet started are
+	// skipped and the run fails with the interrupt instead of grinding
+	// through the remaining tables.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, w, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -60,7 +68,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, quick bool) error {
+func run(ctx context.Context, w io.Writer, quick bool) error {
 	oddNs := seq(3, 99, 2)
 	evenNs := seq(4, 98, 2)
 	f1Ns := []int{11, 21, 51, 101, 151, 201}
@@ -85,14 +93,14 @@ func run(w io.Writer, quick bool) error {
 	}
 
 	section(w, "T1 — Theorem 1: rho(n) for odd n (count, composition, optimality)")
-	t1, err := bench.ParallelTableT1(oddNs, sweepWorkers)
+	t1, err := bench.ParallelTableT1Ctx(ctx, oddNs, sweepWorkers)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, bench.RenderT1(t1))
 
 	section(w, "T2 — Theorem 2: rho(n) for even n (achieved vs theorem)")
-	t2, err := bench.ParallelTableT2(evenNs, sweepWorkers)
+	t2, err := bench.ParallelTableT2Ctx(ctx, evenNs, sweepWorkers)
 	if err != nil {
 		return err
 	}
@@ -125,7 +133,7 @@ func run(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, bench.RenderF1(bench.SeriesF1(f1Ns)))
 
 	section(w, "F2 — survivability: single- and double-failure drills")
-	f2, err := bench.ParallelTableF2(f2Ns, doubleLimit, sweepWorkers)
+	f2, err := bench.ParallelTableF2Ctx(ctx, f2Ns, doubleLimit, sweepWorkers)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 // section of DESIGN.md §4.
 func TestQuickSweepRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, true); err != nil {
+	if err := run(context.Background(), &sb, true); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -16,19 +16,31 @@
 //   - CoverAllToAll, CoverInstance — constructors (Theorem 1's
 //     construction for odd n is exactly optimal; even n is
 //     search-certified optimal up to the documented limit and
-//     asymptotically optimal beyond);
+//     asymptotically optimal beyond), with context-aware variants
+//     CoverAllToAllCtx and CoverInstanceCtx whose searches abort
+//     promptly when the context fires;
+//   - Strategies, CoverInstanceStrategy — the pluggable solver engine:
+//     every construction path (closed-form, exact, repair, greedy) is
+//     independently selectable by name, and "portfolio" races them
+//     under one context with deterministic winner selection;
 //   - Verify — independent validity checking of any covering;
 //   - PlanWDM, NewSimulator — the optical layer and failure simulation;
 //   - Planner — the cached planning facade: verified coverings and WDM
 //     plans memoized per instance signature with single-flight
-//     deduplication, the same path the cycled HTTP service
-//     (cmd/cycled) serves.
+//     deduplication, the same path the cycled HTTP service (cmd/cycled)
+//     serves. Its CoverInstanceCtx, PlanWDMCtx and PlanManyCtx methods
+//     propagate cancellation and deadlines all the way into
+//     branch-and-bound: a caller that gives up detaches immediately and
+//     the search is cancelled once nobody wants it, without poisoning
+//     the cache.
 //
-// See DESIGN.md for the architecture (§5 covers the planner service and
-// cache semantics) and EXPERIMENTS.md for the reproduction results.
+// See DESIGN.md for the architecture (§3 covers the strategy registry,
+// §5 the planner service, §5.5 the context and deadline semantics) and
+// EXPERIMENTS.md for the reproduction results.
 package cyclecover
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cyclecover/cyclecover/internal/construct"
@@ -113,7 +125,14 @@ func ParseInstance(n int, spec string) (Instance, error) {
 // covering provably has ρ(n) cycles (always true for odd n; true for even
 // n within the search range documented in DESIGN.md).
 func CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
-	res, err := construct.AllToAll(n)
+	return CoverAllToAllCtx(context.Background(), n)
+}
+
+// CoverAllToAllCtx is CoverAllToAll under a context: the even-n repair
+// and exact searches poll ctx and abort promptly (within one branch
+// expansion) when it fires, returning ctx's error.
+func CoverAllToAllCtx(ctx context.Context, n int) (cv *Covering, optimal bool, err error) {
+	res, err := construct.AllToAllCtx(ctx, n)
 	if err != nil {
 		return nil, false, err
 	}
@@ -121,9 +140,18 @@ func CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
 }
 
 // CoverInstance constructs a valid DRC covering for an arbitrary instance
-// over C_n (n = instance size): the closed-form machinery when the demand
-// is complete, the greedy constructor otherwise.
+// over C_n (n = instance size): the closed-form machinery for uniform
+// λK_n demands (the paper's optimal constructions for K_n, the
+// λ-composition beyond), the greedy constructor otherwise — the same
+// dispatch the cached Planner and the cycled service use.
 func CoverInstance(in Instance) (*Covering, error) {
+	return CoverInstanceCtx(context.Background(), in)
+}
+
+// CoverInstanceCtx is CoverInstance under a context: cancellation or a
+// deadline aborts the underlying construction search promptly and
+// returns ctx's error, never a partial covering.
+func CoverInstanceCtx(ctx context.Context, in Instance) (*Covering, error) {
 	if in.Demand == nil {
 		return nil, fmt.Errorf("cyclecover: instance %q has no demand graph (zero-value instance?)", in.Name)
 	}
@@ -132,24 +160,47 @@ func CoverInstance(in Instance) (*Covering, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Complete single-multiplicity demand: use the optimal machinery.
-	if in.Demand.DistinctEdges() == n*(n-1)/2 {
-		allOne := true
-		for _, e := range in.Demand.Edges() {
-			if in.Demand.Multiplicity(e.U, e.V) != 1 {
-				allOne = false
-				break
-			}
+	if lam, ok := construct.UniformLambda(in.Demand); ok {
+		var res construct.Result
+		if lam == 1 {
+			res, err = construct.AllToAllCtx(ctx, n)
+		} else {
+			res, err = construct.LambdaCtx(ctx, n, lam)
 		}
-		if allOne {
-			res, err := construct.AllToAll(n)
-			if err != nil {
-				return nil, err
-			}
-			return res.Covering, nil
+		if err != nil {
+			return nil, err
 		}
+		return res.Covering, nil
 	}
-	return construct.Greedy(r, in.Demand), nil
+	return construct.GreedyCtx(ctx, r, in.Demand)
+}
+
+// Strategies lists the selectable construction strategy names: the
+// registry in priority order ("closed-form", "exact", "repair",
+// "greedy") plus "portfolio", which races them under one context and
+// returns a deterministic winner (lowest cost, ties toward the earliest
+// registry entry — exactly the fixed pipeline's result wherever the
+// closed forms apply).
+func Strategies() []string { return construct.Strategies() }
+
+// CoverInstanceStrategy constructs a covering with the named strategy
+// (see Strategies), uncached. A strategy that does not address the
+// instance's demand class (e.g. "exact" on a hub demand) returns an
+// error; "portfolio" always succeeds on demands greedy can serve.
+// Cancellation semantics match CoverInstanceCtx.
+func CoverInstanceStrategy(ctx context.Context, in Instance, strategy string) (*Covering, error) {
+	if in.Demand == nil {
+		return nil, fmt.Errorf("cyclecover: instance %q has no demand graph (zero-value instance?)", in.Name)
+	}
+	st, ok := construct.LookupStrategy(strategy)
+	if !ok {
+		return nil, fmt.Errorf("cyclecover: unknown strategy %q (have %v)", strategy, construct.Strategies())
+	}
+	out, err := st.Solve(ctx, in, construct.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return out.Covering, nil
 }
 
 // Verify checks that cv is a valid DRC covering of the instance: every

@@ -55,7 +55,7 @@ func TestFacadeCoverInstance(t *testing.T) {
 	if err := Verify(cvh, hub); err != nil {
 		t.Fatal(err)
 	}
-	// Multigraph demand also greedy.
+	// Uniform multigraph demand routes through the λ-composition.
 	lam := LambdaAllToAll(6, 2)
 	cvl, err := CoverInstance(lam)
 	if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,8 +12,10 @@ import (
 // parallel (one ring size per row), and the constructors are safe for
 // concurrent use (pure functions behind the single-flighted sweep cache
 // in bench.go), so the big tables scale with cores. workers ≤ 0 selects
-// GOMAXPROCS.
-func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, error) {
+// GOMAXPROCS. A fired ctx skips every row not yet started and fails the
+// sweep with the context's error — the interrupt contract cmd/experiments
+// relies on for clean SIGINT aborts.
+func parallelMap[T any](ctx context.Context, ns []int, workers int, f func(n int) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -22,6 +25,9 @@ func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, e
 	if workers <= 1 {
 		out := make([]T, len(ns))
 		for i, n := range ns {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bench: sweep interrupted before n=%d: %w", n, err)
+			}
 			v, err := f(n)
 			if err != nil {
 				return nil, err
@@ -40,6 +46,10 @@ func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, e
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				out[i], errs[i] = f(ns[i])
 			}
 		}()
@@ -59,7 +69,13 @@ func parallelMap[T any](ns []int, workers int, f func(n int) (T, error)) ([]T, e
 
 // ParallelTableT1 is TableT1 with the rows computed concurrently.
 func ParallelTableT1(ns []int, workers int) ([]T1Row, error) {
-	return parallelMap(ns, workers, func(n int) (T1Row, error) {
+	return ParallelTableT1Ctx(context.Background(), ns, workers)
+}
+
+// ParallelTableT1Ctx is ParallelTableT1 under a context: a fired ctx
+// skips unstarted rows and fails the sweep with ctx's error.
+func ParallelTableT1Ctx(ctx context.Context, ns []int, workers int) ([]T1Row, error) {
+	return parallelMap(ctx, ns, workers, func(n int) (T1Row, error) {
 		rows, err := TableT1([]int{n})
 		if err != nil {
 			return T1Row{}, err
@@ -70,7 +86,12 @@ func ParallelTableT1(ns []int, workers int) ([]T1Row, error) {
 
 // ParallelTableT2 is TableT2 with the rows computed concurrently.
 func ParallelTableT2(ns []int, workers int) ([]T2Row, error) {
-	return parallelMap(ns, workers, func(n int) (T2Row, error) {
+	return ParallelTableT2Ctx(context.Background(), ns, workers)
+}
+
+// ParallelTableT2Ctx is ParallelTableT2 under a context.
+func ParallelTableT2Ctx(ctx context.Context, ns []int, workers int) ([]T2Row, error) {
+	return parallelMap(ctx, ns, workers, func(n int) (T2Row, error) {
 		rows, err := TableT2([]int{n})
 		if err != nil {
 			return T2Row{}, err
@@ -82,7 +103,12 @@ func ParallelTableT2(ns []int, workers int) ([]T2Row, error) {
 // ParallelTableF2 is TableF2 with the rows computed concurrently (the
 // failure sweeps dominate large-n experiment time).
 func ParallelTableF2(ns []int, doubleLimit, workers int) ([]F2Row, error) {
-	return parallelMap(ns, workers, func(n int) (F2Row, error) {
+	return ParallelTableF2Ctx(context.Background(), ns, doubleLimit, workers)
+}
+
+// ParallelTableF2Ctx is ParallelTableF2 under a context.
+func ParallelTableF2Ctx(ctx context.Context, ns []int, doubleLimit, workers int) ([]F2Row, error) {
+	return parallelMap(ctx, ns, workers, func(n int) (F2Row, error) {
 		rows, err := TableF2([]int{n}, doubleLimit)
 		if err != nil {
 			return F2Row{}, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -56,7 +57,7 @@ func TestParallelF2(t *testing.T) {
 
 func TestParallelMapErrorPropagation(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := parallelMap([]int{1, 2, 3, 4}, 2, func(n int) (int, error) {
+	_, err := parallelMap(context.Background(), []int{1, 2, 3, 4}, 2, func(n int) (int, error) {
 		if n == 3 {
 			return 0, boom
 		}
@@ -69,7 +70,7 @@ func TestParallelMapErrorPropagation(t *testing.T) {
 
 func TestParallelMapOrderPreserved(t *testing.T) {
 	ns := []int{9, 3, 7, 5, 11, 13}
-	out, err := parallelMap(ns, 3, func(n int) (int, error) { return n * 10, nil })
+	out, err := parallelMap(context.Background(), ns, 3, func(n int) (int, error) { return n * 10, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +83,30 @@ func TestParallelMapOrderPreserved(t *testing.T) {
 
 func TestParallelMapDegenerateWorkerCounts(t *testing.T) {
 	for _, w := range []int{-1, 0, 1, 100} {
-		out, err := parallelMap([]int{2, 4}, w, func(n int) (int, error) { return n, nil })
+		out, err := parallelMap(context.Background(), []int{2, 4}, w, func(n int) (int, error) { return n, nil })
 		if err != nil || len(out) != 2 || out[0] != 2 || out[1] != 4 {
 			t.Fatalf("workers=%d: out=%v err=%v", w, out, err)
 		}
+	}
+}
+
+func TestParallelMapCancelledSkipsRows(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	_, err := parallelMap(ctx, []int{1, 2, 3}, 2, func(n int) (int, error) {
+		ran++
+		return n, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d rows ran under a cancelled context", ran)
+	}
+	// Serial path (workers 1) honours the same contract.
+	_, err = parallelMap(ctx, []int{1, 2, 3}, 1, func(n int) (int, error) { return n, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial err = %v, want Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cyclecover/cyclecover/internal/construct"
@@ -58,15 +59,26 @@ func (p *Plans) Stats() PlansStats {
 // Cover returns a verified covering of the instance, constructing it on
 // the first request and serving clones from the cache afterwards. hit
 // reports whether this call avoided construction (cache hit or joined
-// flight). The constructor is chosen by demand class: the paper's optimal
-// machinery for K_n, the λ-composition for λK_n, greedy otherwise.
+// flight). The constructor is selected by opts.Strategy; the default
+// (empty) pipeline picks by demand class — the paper's optimal machinery
+// for K_n, the λ-composition for λK_n, greedy otherwise.
 func (p *Plans) Cover(in instance.Instance, opts Options) (CoverResult, bool, error) {
+	return p.CoverCtx(context.Background(), in, opts)
+}
+
+// CoverCtx is Cover under a context: a caller whose ctx fires while the
+// covering is being constructed detaches immediately (the construction
+// continues for other waiters, and is itself cancelled when the last
+// waiter departs — see Store.DoCtx). A cancelled construction is never
+// cached, so the entry delivered to surviving waiters is always a
+// verified, completed covering.
+func (p *Plans) CoverCtx(ctx context.Context, in instance.Instance, opts Options) (CoverResult, bool, error) {
 	if in.Demand == nil {
 		return CoverResult{}, false, fmt.Errorf("cache: instance %q has no demand graph (zero-value instance?)", in.Name)
 	}
 	sig := Signature(in, opts)
-	v, hit, err := p.coverings.Do(sig, func() (any, error) {
-		return buildCover(in, opts)
+	v, hit, err := p.coverings.DoCtx(ctx, sig, func(cctx context.Context) (any, error) {
+		return buildCover(cctx, in, opts)
 	})
 	if err != nil {
 		return CoverResult{}, hit, err
@@ -82,9 +94,14 @@ func (p *Plans) Cover(in instance.Instance, opts Options) (CoverResult, bool, er
 // demand graph is only materialized on a miss, so warm calls cost a
 // lookup and a clone.
 func (p *Plans) CoverAllToAll(n int, opts Options) (CoverResult, bool, error) {
+	return p.CoverAllToAllCtx(context.Background(), n, opts)
+}
+
+// CoverAllToAllCtx is CoverAllToAll under a context (see CoverCtx).
+func (p *Plans) CoverAllToAllCtx(ctx context.Context, n int, opts Options) (CoverResult, bool, error) {
 	sig := SignatureAllToAll(n, opts)
-	v, hit, err := p.coverings.Do(sig, func() (any, error) {
-		return buildCover(instance.AllToAll(n), opts)
+	v, hit, err := p.coverings.DoCtx(ctx, sig, func(cctx context.Context) (any, error) {
+		return buildCover(cctx, instance.AllToAll(n), opts)
 	})
 	if err != nil {
 		return CoverResult{}, hit, err
@@ -96,10 +113,15 @@ func (p *Plans) CoverAllToAll(n int, opts Options) (CoverResult, bool, error) {
 
 // NetworkAllToAll is Network for the all-to-all instance, keyed in O(1).
 func (p *Plans) NetworkAllToAll(n int, opts Options) (*wdm.Network, bool, error) {
+	return p.NetworkAllToAllCtx(context.Background(), n, opts)
+}
+
+// NetworkAllToAllCtx is NetworkAllToAll under a context (see CoverCtx).
+func (p *Plans) NetworkAllToAllCtx(ctx context.Context, n int, opts Options) (*wdm.Network, bool, error) {
 	sig := SignatureAllToAll(n, opts)
-	v, hit, err := p.networks.Do(sig, func() (any, error) {
+	v, hit, err := p.networks.DoCtx(ctx, sig, func(cctx context.Context) (any, error) {
 		in := instance.AllToAll(n)
-		res, _, err := p.CoverAllToAll(n, opts)
+		res, _, err := p.CoverAllToAllCtx(cctx, n, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -115,12 +137,18 @@ func (p *Plans) NetworkAllToAll(n int, opts Options) (*wdm.Network, bool, error)
 // the same signature scheme. The returned network is shared across
 // callers and must not be mutated.
 func (p *Plans) Network(in instance.Instance, opts Options) (*wdm.Network, bool, error) {
+	return p.NetworkCtx(context.Background(), in, opts)
+}
+
+// NetworkCtx is Network under a context (see CoverCtx for the
+// cancellation semantics).
+func (p *Plans) NetworkCtx(ctx context.Context, in instance.Instance, opts Options) (*wdm.Network, bool, error) {
 	if in.Demand == nil {
 		return nil, false, fmt.Errorf("cache: instance %q has no demand graph (zero-value instance?)", in.Name)
 	}
 	sig := Signature(in, opts)
-	v, hit, err := p.networks.Do(sig, func() (any, error) {
-		res, _, err := p.Cover(in, opts)
+	v, hit, err := p.networks.DoCtx(ctx, sig, func(cctx context.Context) (any, error) {
+		res, _, err := p.CoverCtx(cctx, in, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -135,27 +163,43 @@ func (p *Plans) Network(in instance.Instance, opts Options) (*wdm.Network, bool,
 // buildCover constructs and verifies a covering for the instance. Only
 // verified coverings may enter the cache: an artifact that fails the
 // independent verifier is dropped with an error rather than memoized.
-func buildCover(in instance.Instance, opts Options) (CoverResult, error) {
+// opts.Strategy selects the construction path through the strategy
+// registry; empty runs the fixed auto pipeline.
+func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverResult, error) {
 	n := in.N()
 	r, err := ring.New(n)
 	if err != nil {
 		return CoverResult{}, err
 	}
 	var res CoverResult
-	if lam, ok := lambdaClass(in.Demand); ok {
+	if opts.Strategy != "" {
+		st, ok := construct.LookupStrategy(opts.Strategy)
+		if !ok {
+			return CoverResult{}, fmt.Errorf("cache: unknown strategy %q (have %v)", opts.Strategy, construct.Strategies())
+		}
+		out, err := st.Solve(ctx, in, construct.Options{})
+		if err != nil {
+			return CoverResult{}, err
+		}
+		res = CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal}
+	} else if lam, ok := construct.UniformLambda(in.Demand); ok {
 		var cres construct.Result
 		var err error
 		if lam == 1 {
-			cres, err = construct.AllToAll(n)
+			cres, err = construct.AllToAllCtx(ctx, n)
 		} else {
-			cres, err = construct.Lambda(n, lam)
+			cres, err = construct.LambdaCtx(ctx, n, lam)
 		}
 		if err != nil {
 			return CoverResult{}, err
 		}
 		res = CoverResult{Covering: cres.Covering, Method: cres.Method, Optimal: cres.Optimal}
 	} else {
-		res = CoverResult{Covering: construct.Greedy(r, in.Demand), Method: construct.MethodGreedy}
+		cv, err := construct.GreedyCtx(ctx, r, in.Demand)
+		if err != nil {
+			return CoverResult{}, err
+		}
+		res = CoverResult{Covering: cv, Method: construct.MethodGreedy}
 	}
 	if opts.EliminateRedundant {
 		construct.EliminateRedundant(res.Covering, in.Demand)

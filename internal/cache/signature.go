@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/instance"
 )
@@ -27,6 +28,14 @@ type Options struct {
 	// EliminateRedundant runs the redundancy-elimination optimiser on the
 	// constructed covering before it is verified and cached.
 	EliminateRedundant bool
+	// Strategy selects the construction strategy by registry name
+	// (construct.Strategies: "closed-form", "exact", "repair", "greedy",
+	// "portfolio"). Empty selects the fixed auto pipeline — the paper's
+	// machinery for λK_n demands, greedy otherwise. Part of the cache
+	// key: the same demand under different strategies occupies distinct
+	// entries, so a strategy experiment never serves another strategy's
+	// covering.
+	Strategy string
 }
 
 // Signature returns the canonical cache key for an instance under the
@@ -35,7 +44,7 @@ type Options struct {
 // or named: recognised classes (λK_n, including K_n as λ=1) get a compact
 // readable form, everything else a content hash of the edge multiset.
 func Signature(in instance.Instance, opts Options) string {
-	if lam, ok := lambdaClass(in.Demand); ok {
+	if lam, ok := construct.UniformLambda(in.Demand); ok {
 		return SignatureLambda(in.N(), lam, opts)
 	}
 	return withOptions(fmt.Sprintf("n=%d;d=h%016x", in.N(), demandHash(in.Demand)), opts)
@@ -55,23 +64,10 @@ func withOptions(sig string, opts Options) string {
 	if opts.EliminateRedundant {
 		sig += ";o=er"
 	}
+	if opts.Strategy != "" {
+		sig += ";s=" + opts.Strategy
+	}
 	return sig
-}
-
-// lambdaClass reports whether g is λK_n for some uniform λ ≥ 1.
-func lambdaClass(g *graph.Graph) (int, bool) {
-	n := g.N()
-	pairs := n * (n - 1) / 2
-	if pairs == 0 || g.DistinctEdges() != pairs || g.M()%pairs != 0 {
-		return 0, false
-	}
-	lam := g.M() / pairs
-	for _, e := range g.Edges() {
-		if g.Multiplicity(e.U, e.V) != lam {
-			return 0, false
-		}
-	}
-	return lam, true
 }
 
 // demandHash is an FNV-1a fingerprint of the sorted edge multiset. Edges()

@@ -2,6 +2,8 @@ package cache
 
 import (
 	"container/list"
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -45,19 +47,33 @@ type entry struct {
 	val any
 }
 
+// call is one in-flight computation. waiters counts the callers —
+// originator included — currently blocked on it; a waiter whose context
+// fires detaches (decrementing the count) without disturbing the entry,
+// and only when the count reaches zero is the computation itself
+// cancelled. Guarded by the shard mutex, except done/val/err which
+// follow the close-after-write protocol (val and err are written, and
+// done closed, under the shard lock; readers may select on done without
+// the lock and then read val/err freely).
 type call struct {
-	done chan struct{} // closed when val/err are final
-	val  any
-	err  error
+	done    chan struct{} // closed when val/err are final
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc // cancels the computation's context
 }
 
 // Stats counts cache traffic. Hits are LRU hits; Coalesced are requests
 // that joined an in-flight computation; Misses are computations actually
-// run; Evictions are LRU removals.
+// run; Abandoned are waiters that detached (context fired) before their
+// computation finished; Cancelled are computations aborted because their
+// last waiter departed; Evictions are LRU removals.
 type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
+	Abandoned uint64 `json:"abandoned"`
+	Cancelled uint64 `json:"cancelled"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 }
@@ -142,6 +158,19 @@ func (s *Store) shard(key string) *storeShard {
 // computation). Successful results are inserted at the front of their
 // shard's LRU.
 func (s *Store) Do(key string, compute func() (any, error)) (val any, hit bool, err error) {
+	return s.DoCtx(context.Background(), key, func(context.Context) (any, error) { return compute() })
+}
+
+// DoCtx is Do under a context, with detachable waiting: a caller whose
+// ctx fires while the value is being computed returns ctx's error
+// immediately — without poisoning or evicting anything — while the
+// computation keeps running for the remaining waiters and still lands in
+// the cache. The computation's own context (handed to compute) is
+// cancelled only when the LAST waiter departs: at that point nobody
+// wants the result, so the work is abandoned and the next request for
+// the key starts fresh. Errors — including a cancelled computation's —
+// are never cached.
+func (s *Store) DoCtx(ctx context.Context, key string, compute func(context.Context) (any, error)) (val any, hit bool, err error) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	if el, ok := sh.items[key]; ok {
@@ -152,26 +181,84 @@ func (s *Store) Do(key string, compute func() (any, error)) (val any, hit bool, 
 		return v, true, nil
 	}
 	if c, ok := sh.inflight[key]; ok {
+		c.waiters++
 		sh.stats.Coalesced++
 		sh.mu.Unlock()
-		<-c.done
-		return c.val, true, c.err
+		return sh.wait(ctx, key, c, true)
 	}
-	c := &call{done: make(chan struct{})}
+	// The computation must outlive this caller (other waiters may join),
+	// so its context derives from Background, not ctx; ctx's cancellation
+	// reaches it only through the last-waiter-departs rule below.
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	sh.inflight[key] = c
 	sh.stats.Misses++
 	sh.mu.Unlock()
 
-	c.val, c.err = compute()
+	go func() {
+		v, err := runCompute(cctx, compute)
+		cancel()
+		sh.mu.Lock()
+		c.val, c.err = v, err
+		if sh.inflight[key] == c {
+			delete(sh.inflight, key)
+		}
+		if err == nil {
+			// Cache even if every waiter gave up: the value is computed
+			// and deterministic for the key, so the next request hits.
+			sh.add(key, v)
+		}
+		close(c.done) // under the lock: wait() rechecks done while holding it
+		sh.mu.Unlock()
+	}()
+	return sh.wait(ctx, key, c, false)
+}
 
+// runCompute shields the store from a panicking computation: compute
+// runs on an internal goroutine (so waiters can detach), where an
+// unrecovered panic would kill the whole process and leave every waiter
+// hung on a never-closed done channel. A panic becomes an error, which
+// the store already refuses to cache.
+func runCompute(ctx context.Context, compute func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cache: computation panicked: %v", r)
+		}
+	}()
+	return compute(ctx)
+}
+
+// wait blocks until c finishes or ctx fires, detaching on the latter.
+// joined reports whether this caller coalesced onto an existing call
+// (it becomes the hit flag on success).
+func (sh *storeShard) wait(ctx context.Context, key string, c *call, joined bool) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, joined, c.err
+	case <-ctx.Done():
+	}
 	sh.mu.Lock()
-	delete(sh.inflight, key)
-	if c.err == nil {
-		sh.add(key, c.val)
+	select {
+	case <-c.done:
+		// The result landed while we were acquiring the lock; take it.
+		sh.mu.Unlock()
+		return c.val, joined, c.err
+	default:
+	}
+	c.waiters--
+	sh.stats.Abandoned++
+	if c.waiters == 0 {
+		// Last waiter departing: nobody wants the result. Cancel the
+		// computation and clear the in-flight slot so a fresh request
+		// starts over instead of joining a doomed call.
+		if sh.inflight[key] == c {
+			delete(sh.inflight, key)
+		}
+		sh.stats.Cancelled++
+		c.cancel()
 	}
 	sh.mu.Unlock()
-	close(c.done)
-	return c.val, false, c.err
+	return nil, false, ctx.Err()
 }
 
 // Put inserts a value directly, as if computed. Used by snapshot loading.
@@ -233,6 +320,8 @@ func (s *Store) Stats() Stats {
 		st.Hits += sh.stats.Hits
 		st.Misses += sh.stats.Misses
 		st.Coalesced += sh.stats.Coalesced
+		st.Abandoned += sh.stats.Abandoned
+		st.Cancelled += sh.stats.Cancelled
 		st.Evictions += sh.stats.Evictions
 		st.Entries += sh.ll.Len()
 		sh.mu.Unlock()

@@ -14,6 +14,7 @@
 package construct
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/cyclecover/cyclecover/internal/cover"
@@ -33,6 +34,10 @@ const (
 	MethodLayered Method = "even-layered"
 	// MethodGreedy is the generic greedy constructor.
 	MethodGreedy Method = "greedy"
+	// MethodRepair is the min-conflicts repair search (the Repair
+	// strategy; inside the closed-form even path its converged results
+	// are reported as MethodExact for historical compatibility).
+	MethodRepair Method = "min-conflicts"
 )
 
 // Result is a constructed covering plus provenance.
@@ -50,6 +55,13 @@ type Result struct {
 // (n ≤ exactEvenLimit), and otherwise the layered construction whose size
 // is reported against ρ(n) by the experiment harness.
 func AllToAll(n int) (Result, error) {
+	return AllToAllCtx(context.Background(), n)
+}
+
+// AllToAllCtx is AllToAll under a context. Odd n is a fast closed form
+// and ignores ctx; even n threads it into the embedded repair and exact
+// searches, returning ctx's error when it fires mid-build.
+func AllToAllCtx(ctx context.Context, n int) (Result, error) {
 	if n < ring.MinVertices {
 		return Result{}, fmt.Errorf("construct: n = %d below minimum %d", n, ring.MinVertices)
 	}
@@ -57,7 +69,10 @@ func AllToAll(n int) (Result, error) {
 		cv := Odd(n)
 		return Result{Covering: cv, Method: MethodOdd, Optimal: true}, nil
 	}
-	cv, opt := Even(n)
+	cv, opt, err := EvenCtx(ctx, n)
+	if err != nil {
+		return Result{}, err
+	}
 	m := MethodLayered
 	if opt {
 		m = MethodExact

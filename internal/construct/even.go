@@ -1,6 +1,7 @@
 package construct
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,33 +60,68 @@ type evenEntry struct {
 // structure of the paper's (omitted) proof. EXPERIMENTS.md reports
 // achieved-vs-ρ for every n so the residual gap is visible.
 func Even(n int) (*cover.Covering, bool) {
+	cv, opt, _ := EvenCtx(context.Background(), n) // Background: err impossible
+	return cv, opt
+}
+
+// EvenCtx is Even under a context: the embedded repair and exact searches
+// poll ctx and abort promptly when it fires, in which case EvenCtx
+// returns ctx's error and caches nothing (an interrupted build may have
+// fallen through to the layered heuristic on an n the searches would have
+// certified optimal — memoizing that would poison every later call).
+//
+// The memo table is guarded by one mutex held across the build, so
+// concurrent first calls for any even n serialize; cancellation of the
+// builder does not release waiters early. Callers that need detachable
+// waiting (the planner service) get it from the cache layer's
+// single-flight above this.
+func EvenCtx(ctx context.Context, n int) (*cover.Covering, bool, error) {
 	if n < 4 || n%2 == 1 {
 		panic(fmt.Sprintf("construct: Even requires even n >= 4, got %d", n))
 	}
 	evenCache.Lock()
 	defer evenCache.Unlock()
 	if e, ok := evenCache.m[n]; ok {
-		return e.cv.Clone(), e.optimal
+		return e.cv.Clone(), e.optimal, nil
 	}
-	cv, opt := buildEven(n)
+	cv, opt := buildEven(ctx, n)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	evenCache.m[n] = evenEntry{cv: cv, optimal: opt}
-	return cv.Clone(), opt
+	return cv.Clone(), opt, nil
 }
 
-func buildEven(n int) (*cover.Covering, bool) {
-	// Min-conflicts repair at budget ρ(n): by Theorem 2 a covering of that
-	// size exists, and the search converges across the experiment sweep.
-	// Small n search the full instance; larger n fix the interior gap
-	// families and search only the boundary classes (see minconflicts.go).
-	// Every output is re-verified before being trusted.
+func buildEven(ctx context.Context, n int) (*cover.Covering, bool) {
+	if cv, ok := evenMCAttempts(ctx, n); ok {
+		return cv, true
+	}
+	if n <= exactEvenLimit {
+		out := ExactCtx(ctx, n, ExactOptions{Budget: cover.Rho(n), MaxLen: 4, NodeLimit: evenExactNodes})
+		if out.Covering != nil {
+			return out.Covering, true
+		}
+	}
+	return layeredEven(n), false
+}
+
+// evenMCAttempts is the min-conflicts attempt ladder at budget ρ(n): by
+// Theorem 2 a covering of that size exists, and the search converges
+// across the experiment sweep. Small n search the full instance; larger
+// n fix the interior gap families and search only the boundary classes
+// (see minconflicts.go). Every output is re-verified, and only a
+// provably optimal covering is returned. Shared by the closed-form even
+// path and the standalone Repair strategy so the two cannot diverge on
+// thresholds, widths or verification policy.
+func evenMCAttempts(ctx context.Context, n int) (*cover.Covering, bool) {
 	attempts := []func() (*cover.Covering, bool){}
 	if n <= 16 {
-		attempts = append(attempts, func() (*cover.Covering, bool) { return fullEvenMC(n) })
+		attempts = append(attempts, func() (*cover.Covering, bool) { return fullEvenMC(ctx, n) })
 	}
 	if n <= searchEvenLimit {
 		attempts = append(attempts,
-			func() (*cover.Covering, bool) { return boundaryEvenMC(n, 2) },
-			func() (*cover.Covering, bool) { return boundaryEvenMC(n, 3) },
+			func() (*cover.Covering, bool) { return boundaryEvenMC(ctx, n, 2) },
+			func() (*cover.Covering, bool) { return boundaryEvenMC(ctx, n, 3) },
 		)
 	}
 	for _, attempt := range attempts {
@@ -95,12 +131,7 @@ func buildEven(n int) (*cover.Covering, bool) {
 			}
 		}
 	}
-	if n <= exactEvenLimit {
-		if cv, ok := ExactOptimal(n, evenExactNodes); ok {
-			return cv, true
-		}
-	}
-	return layeredEven(n), false
+	return nil, false
 }
 
 // layeredEven is the constructive heuristic described on Even.

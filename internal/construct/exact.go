@@ -1,6 +1,7 @@
 package construct
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -33,6 +34,14 @@ type ExactOptions struct {
 	// surviving solution is the one the serial search would have found
 	// (lowest root-candidate index, identical DFS inside the subtree).
 	Parallelism int
+	// Bound, when non-nil, is a shared, live upper bound on useful
+	// covering size: the search only pursues coverings strictly smaller
+	// than the bound's current value, re-reading it as it descends.
+	// Portfolio racing feeds each member the best size already achieved
+	// by higher-priority members. A search cut by the bound reports
+	// Complete=false — the cut is relative to a competitor's result, not
+	// an exhaustion proof.
+	Bound *atomic.Int64
 }
 
 // DefaultNodeLimit bounds exact searches that did not specify a limit.
@@ -72,6 +81,14 @@ type ExactOutcome struct {
 // lower-index subtree may still yield the canonical, serial-order
 // solution, so it runs to completion).
 func Exact(n int, opts ExactOptions) ExactOutcome {
+	return ExactCtx(context.Background(), n, opts)
+}
+
+// ExactCtx is Exact under a context: cancellation (or a deadline) is
+// honoured at every branch boundary, so the search stops within one node
+// expansion of ctx firing. An interrupted search reports Complete=false —
+// a nil Covering after cancellation is never an infeasibility proof.
+func ExactCtx(ctx context.Context, n int, opts ExactOptions) ExactOutcome {
 	r := ring.MustNew(n)
 	if opts.NodeLimit == 0 {
 		opts.NodeLimit = DefaultNodeLimit
@@ -82,10 +99,11 @@ func Exact(n int, opts ExactOptions) ExactOutcome {
 	}
 	if workers == 1 {
 		s := newExactState(r, n, opts)
+		s.done = ctx.Done()
 		complete := s.search(0)
 		return s.outcome(complete, s.nodes)
 	}
-	return exactParallel(r, n, opts, workers)
+	return exactParallel(ctx, r, n, opts, workers)
 }
 
 // ExactOptimal runs Exact at Budget = ρ(n) with the paper's cycle lengths
@@ -110,6 +128,15 @@ type exactState struct {
 	chosen   [][]int
 	solution [][]int
 	nodes    int64
+
+	// done, when non-nil, is the context's cancellation channel, polled
+	// at every branch boundary (countNode) so a cancel or deadline stops
+	// the search within one node expansion.
+	done <-chan struct{}
+	// boundCut records that at least one subtree was cut by the shared
+	// competitor bound (opts.Bound), which forfeits any completeness
+	// claim: the cut is relative to a competitor, not an exhaustion proof.
+	boundCut bool
 
 	// Parallel-search hooks; nil/zero in the serial search.
 	shared    *atomic.Int64 // node budget shared across workers
@@ -140,7 +167,7 @@ func newExactState(r ring.Ring, n int, opts ExactOptions) *exactState {
 
 // outcome packages the state's solution (if any) as an ExactOutcome.
 func (s *exactState) outcome(complete bool, nodes int64) ExactOutcome {
-	out := ExactOutcome{Complete: complete, Nodes: nodes}
+	out := ExactOutcome{Complete: complete && !s.boundCut, Nodes: nodes}
 	if s.solution != nil {
 		out.Covering = buildCovering(s.r, s.solution)
 	}
@@ -159,9 +186,28 @@ func buildCovering(r ring.Ring, sol [][]int) *cover.Covering {
 }
 
 // pruned reports whether the subtree at depth is cut by the bounds; a
-// pruned subtree counts as (vacuously) fully explored.
+// pruned subtree counts as (vacuously) fully explored, except for cuts
+// induced by the shared competitor bound, which are recorded in boundCut
+// and downgrade the outcome to Complete=false.
 func (s *exactState) pruned(depth int) bool {
-	left := s.opts.Budget - depth
+	if s.prunedAt(s.opts.Budget, depth) {
+		return true
+	}
+	if s.opts.Bound != nil {
+		// Only coverings strictly smaller than the best competitor size
+		// are useful; re-read on every node so a late improvement still
+		// tightens the search.
+		if b := s.opts.Bound.Load(); b <= int64(s.opts.Budget) && s.prunedAt(int(b)-1, depth) {
+			s.boundCut = true
+			return true
+		}
+	}
+	return false
+}
+
+// prunedAt applies the unconditional cuts for a given cycle budget.
+func (s *exactState) prunedAt(budget, depth int) bool {
+	left := budget - depth
 	if left <= 0 ||
 		left*s.n < s.remainingDist ||
 		left < s.uncoveredDiams {
@@ -173,10 +219,17 @@ func (s *exactState) pruned(depth int) bool {
 }
 
 // countNode charges one node against the budget; false means the budget
-// is exhausted and the search must stop. In a parallel search the charge
-// goes against the shared counter, so the limit bounds total work across
-// all workers.
+// is exhausted (or the context fired) and the search must stop. In a
+// parallel search the charge goes against the shared counter, so the
+// limit bounds total work across all workers. The context poll here is
+// what makes cancellation take effect within one node expansion: every
+// branch application passes through countNode.
 func (s *exactState) countNode() bool {
+	select {
+	case <-s.done: // nil when no context: never fires, default taken
+		return false
+	default:
+	}
 	if s.shared != nil {
 		if s.shared.Add(1) > s.opts.NodeLimit {
 			return false
@@ -248,14 +301,14 @@ type subOutcome struct {
 // solution is the one from the lowest root index, and completeness holds
 // only if every subtree that the serial search would have visited ran to
 // completion.
-func exactParallel(r ring.Ring, n int, opts ExactOptions, workers int) ExactOutcome {
+func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, workers int) ExactOutcome {
 	root := newExactState(r, n, opts)
 	if root.uncovered == 0 {
 		root.solution = [][]int{}
 		return root.outcome(true, 0)
 	}
 	if root.pruned(0) {
-		return ExactOutcome{Complete: true}
+		return ExactOutcome{Complete: !root.boundCut}
 	}
 	u, v := root.pickBranchPair()
 	cands := root.candidates(u, v)
@@ -289,6 +342,7 @@ func exactParallel(r ring.Ring, n int, opts ExactOptions, workers int) ExactOutc
 					continue
 				}
 				st := newExactState(r, n, opts)
+				st.done = ctx.Done()
 				st.shared = &shared
 				st.bestIdx = &bestIdx
 				st.myIdx = i
@@ -302,7 +356,7 @@ func exactParallel(r ring.Ring, n int, opts ExactOptions, workers int) ExactOutc
 				st.undo(newly)
 				results[i] = subOutcome{
 					solution:  st.solution,
-					complete:  done,
+					complete:  done && !st.boundCut,
 					cancelled: st.cancelled,
 					nodes:     st.nodes,
 				}

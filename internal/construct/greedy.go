@@ -1,6 +1,8 @@
 package construct
 
 import (
+	"context"
+
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
@@ -18,6 +20,14 @@ import (
 // multiplicity); nothing is claimed about optimality. EliminateRedundant
 // is applied before returning.
 func Greedy(r ring.Ring, demand *graph.Graph) *cover.Covering {
+	cv, _ := GreedyCtx(context.Background(), r, demand) // Background: err impossible
+	return cv
+}
+
+// GreedyCtx is Greedy under a context: cancellation is polled once per
+// constructed cycle, so the builder stops within one cycle-growing step
+// of ctx firing and returns ctx's error (never a partial covering).
+func GreedyCtx(ctx context.Context, r ring.Ring, demand *graph.Graph) (*cover.Covering, error) {
 	cv := cover.NewCovering(r)
 	// need[pair] = multiplicity still unserved.
 	need := make(map[graph.Edge]int)
@@ -37,13 +47,19 @@ func Greedy(r ring.Ring, demand *graph.Graph) *cover.Covering {
 		cv.Add(c)
 	}
 
+	done := ctx.Done()
 	for len(need) > 0 {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
 		target := pickFarthest(r, need)
 		c := growCycle(r, target, need)
 		serve(c)
 	}
 	EliminateRedundant(cv, demand)
-	return cv
+	return cv, nil
 }
 
 // pickFarthest returns the unserved pair with maximum short-arc distance,

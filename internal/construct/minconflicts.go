@@ -1,6 +1,7 @@
 package construct
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/cyclecover/cyclecover/internal/cover"
@@ -38,13 +39,23 @@ type mcProblem struct {
 const mcWalkProb = 0.08
 
 // runMC runs min-conflicts repair and returns the cycle vertex sets on
-// success (universe fully covered).
-func runMC(p mcProblem) ([][]int, bool) {
+// success (universe fully covered). Cancellation is polled every 256
+// iterations — individual steps are microseconds, so a fired context
+// stops the search well within a millisecond, reported as non-converged.
+func runMC(ctx context.Context, p mcProblem) ([][]int, bool) {
 	st := newMCState(p)
 	if st == nil {
 		return nil, false
 	}
+	done := ctx.Done()
 	for iter := 0; iter < p.iters && st.numUncovered > 0; iter++ {
+		if iter&255 == 0 {
+			select {
+			case <-done:
+				return nil, false
+			default:
+			}
+		}
 		st.step()
 	}
 	if st.numUncovered > 0 {
@@ -387,14 +398,14 @@ func (st *mcState) pickVictims() []int {
 // Problem builders.
 
 // fullEvenMC searches the whole instance (small even n).
-func fullEvenMC(n int) (*cover.Covering, bool) {
+func fullEvenMC(ctx context.Context, n int) (*cover.Covering, bool) {
 	r := ring.MustNew(n)
 	seed := layeredEven(n)
 	var sv [][]int
 	for _, c := range seed.Cycles {
 		sv = append(sv, c.Vertices())
 	}
-	cycles, ok := runMC(mcProblem{
+	cycles, ok := runMC(ctx, mcProblem{
 		r:       r,
 		budget:  cover.Rho(n),
 		seed:    sv,
@@ -410,7 +421,7 @@ func fullEvenMC(n int) (*cover.Covering, bool) {
 // boundaryEvenMC fixes the interior families and searches only the
 // boundary classes. width selects the residual class set: width 2 ⇒
 // {1, 2, p−2, p−1, p}; width 3 adds {3, p−3}.
-func boundaryEvenMC(n, width int) (*cover.Covering, bool) {
+func boundaryEvenMC(ctx context.Context, n, width int) (*cover.Covering, bool) {
 	p := n / 2
 	if width >= p-width {
 		return nil, false // class sets would overlap; full search handles these n
@@ -467,8 +478,8 @@ func boundaryEvenMC(n, width int) (*cover.Covering, bool) {
 	// restarts are far cheaper than longer single runs.
 	var cycles [][]int
 	ok := false
-	for attempt := 0; attempt < 6 && !ok; attempt++ {
-		cycles, ok = runMC(mcProblem{
+	for attempt := 0; attempt < 6 && !ok && ctx.Err() == nil; attempt++ {
+		cycles, ok = runMC(ctx, mcProblem{
 			r:       r,
 			budget:  budget,
 			seed:    seed,

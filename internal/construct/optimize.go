@@ -1,6 +1,8 @@
 package construct
 
 import (
+	"context"
+
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/graph"
 )
@@ -60,10 +62,16 @@ func EliminateRedundant(cv *cover.Covering, demand *graph.Graph) int {
 // of the generalised arc-length bound reported by
 // cover.InstanceLowerBound.
 func Lambda(n, lambda int) (Result, error) {
+	return LambdaCtx(context.Background(), n, lambda)
+}
+
+// LambdaCtx is Lambda under a context, threading it into the underlying
+// all-to-all construction.
+func LambdaCtx(ctx context.Context, n, lambda int) (Result, error) {
 	if lambda < 1 {
 		return Result{}, errLambda(lambda)
 	}
-	base, err := AllToAll(n)
+	base, err := AllToAllCtx(ctx, n)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowPlanURL is a plan request guaranteed to out-run any test deadline:
+// exact branch-and-bound at ρ(24) explores an enormous tree (the
+// strategy is forced, so neither the closed forms nor the even-n memo
+// short-circuit it), and it polls its context at every branch boundary.
+const slowPlanQuery = "/plan?n=24&strategy=exact"
+
+// TestPlanTimeout504 pins the deadline contract: a request that exceeds
+// the configured plan timeout answers 504 with the structured timeout
+// body, the connection is not left hanging for the full search, and the
+// cache is not poisoned — a fast request afterwards succeeds.
+func TestPlanTimeout504(t *testing.T) {
+	s := New(Config{CacheSize: 32, Workers: 2, Queue: 8, PlanTimeout: 100 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	start := time.Now()
+	resp, body := get(t, ts.URL+slowPlanQuery)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("504 took %v — the deadline did not cut the search", elapsed)
+	}
+	var tb struct {
+		Error   string `json:"error"`
+		Timeout string `json:"timeout"`
+	}
+	if err := json.Unmarshal(body, &tb); err != nil {
+		t.Fatalf("504 body is not JSON: %v (%s)", err, body)
+	}
+	if tb.Timeout != "100ms" {
+		t.Fatalf("timeout field = %q, want %q", tb.Timeout, "100ms")
+	}
+	if tb.Error == "" {
+		t.Fatal("504 body has no error message")
+	}
+
+	// Fast request on the same server under the same deadline: 200.
+	resp, body = get(t, ts.URL+"/plan?n=9")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast plan after timeout: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestPlanStrategyParam: ?strategy= selects a registry strategy, the
+// response names it, distinct strategies occupy distinct cache entries,
+// and unknown names answer 400 listing the registry.
+func TestPlanStrategyParam(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, body := get(t, ts.URL+"/plan?n=9&strategy=exact")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("strategy=exact: status %d (%s)", resp.StatusCode, body)
+	}
+	var plan struct {
+		Strategy  string `json:"strategy"`
+		Signature string `json:"signature"`
+		Method    string `json:"method"`
+		Size      int    `json:"size"`
+		Rho       int    `json:"rho"`
+	}
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Strategy != "exact" || plan.Method != "exact-search" {
+		t.Fatalf("strategy/method = %q/%q", plan.Strategy, plan.Method)
+	}
+	if plan.Size != plan.Rho {
+		t.Fatalf("exact strategy: %d cycles, want ρ = %d", plan.Size, plan.Rho)
+	}
+	if !strings.Contains(plan.Signature, ";s=exact") {
+		t.Fatalf("signature %q does not key the strategy", plan.Signature)
+	}
+
+	// Portfolio answers identically-sized plans to the default pipeline.
+	respA, bodyA := get(t, ts.URL+"/plan?n=12")
+	respB, bodyB := get(t, ts.URL+"/plan?n=12&strategy=portfolio")
+	if respA.StatusCode != 200 || respB.StatusCode != 200 {
+		t.Fatalf("statuses %d/%d", respA.StatusCode, respB.StatusCode)
+	}
+	var a, b struct {
+		Size   int     `json:"size"`
+		Cycles [][]int `json:"cycles"`
+	}
+	if err := json.Unmarshal(bodyA, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != b.Size {
+		t.Fatalf("portfolio %d cycles, pipeline %d", b.Size, a.Size)
+	}
+
+	resp, body = get(t, ts.URL+"/plan?n=9&strategy=quantum")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown strategy: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "portfolio") {
+		t.Fatalf("400 body does not list valid strategies: %s", body)
+	}
+
+	// A known strategy that does not address the demand class is also a
+	// client error, not a 500.
+	resp, body = get(t, ts.URL+"/plan?n=9&strategy=repair") // repair needs even n
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inapplicable strategy: status %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestBatchSharedDeadline: a batch runs under one plan-timeout budget —
+// fast items complete, the item that cannot finish reports the expiry in
+// its own stream line, and the batch still answers 200.
+func TestBatchSharedDeadline(t *testing.T) {
+	s := New(Config{CacheSize: 32, Workers: 2, Queue: 8, PlanTimeout: 300 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	bodyIn := `{"n": 9}
+{"n": 24, "strategy": "exact"}
+`
+	resp, err := http.Post(ts.URL+"/plan/batch", "application/x-ndjson", strings.NewReader(bodyIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	type line struct {
+		Index int             `json:"index"`
+		Plan  json.RawMessage `json:"plan"`
+		Error string          `json:"error"`
+	}
+	got := map[int]line{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		got[l.Index] = l
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d stream lines, want 2", len(got))
+	}
+	if got[0].Error != "" || got[0].Plan == nil {
+		t.Fatalf("fast item failed: %+v", got[0])
+	}
+	if got[1].Error == "" {
+		t.Fatalf("slow item did not report the deadline: %+v", got[1])
+	}
+}

@@ -40,10 +40,18 @@ type Pool struct {
 
 type poolJob struct {
 	sig  string
-	run  func() (any, error)
+	run  func(context.Context) (any, error)
 	done chan struct{}
 	val  any
 	err  error
+	// ctx is the job's execution context, handed to run. It is cancelled
+	// when the last attached waiter departs (every interested caller's
+	// own context fired), so an abandoned computation stops burning a
+	// worker instead of running to completion. Waiter bookkeeping is
+	// guarded by Pool.mu.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters int
 	// finalized guards done against double close when a submitter's
 	// failure path races Close's orphan sweep. Guarded by Pool.mu.
 	finalized bool
@@ -76,23 +84,30 @@ func NewPool(workers, queue int) *Pool {
 
 // Submit runs fn on the pool and returns its result, attaching to an
 // already-pending job when one with the same signature exists. It blocks
-// until the result is ready, ctx is done, or the pool closes. A job that
-// reached a worker keeps running for every attached waiter even if its
-// submitter gives up; a job abandoned before reaching a worker fails its
-// waiters with ErrNotScheduled (never with the submitter's context
-// error, which is not theirs).
-func (p *Pool) Submit(ctx context.Context, sig string, fn func() (any, error)) (any, error) {
+// until the result is ready, ctx is done, or the pool closes. fn
+// receives the job's context, which is cancelled only when every waiter
+// attached to the job has departed: a job with surviving waiters keeps
+// running even if its original submitter gives up, while a job nobody
+// wants any more is aborted mid-computation. A job abandoned before
+// reaching a worker fails its waiters with ErrNotScheduled (never with
+// the submitter's context error, which is not theirs).
+func (p *Pool) Submit(ctx context.Context, sig string, fn func(context.Context) (any, error)) (any, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrPoolClosed
 	}
-	if j, ok := p.pending[sig]; ok {
+	// Attach only to a live job: one whose waiters all departed is
+	// already cancelled (the worker will skip it), so a fresh caller
+	// must replace it rather than inherit its doom.
+	if j, ok := p.pending[sig]; ok && j.waiters > 0 {
+		j.waiters++
 		p.coalesced++
 		p.mu.Unlock()
 		return p.await(ctx, j)
 	}
-	j := &poolJob{sig: sig, run: fn, done: make(chan struct{})}
+	jctx, cancel := context.WithCancel(context.Background())
+	j := &poolJob{sig: sig, run: fn, done: make(chan struct{}), ctx: jctx, cancel: cancel, waiters: 1}
 	p.pending[sig] = j
 	p.mu.Unlock()
 
@@ -108,12 +123,23 @@ func (p *Pool) Submit(ctx context.Context, sig string, fn func() (any, error)) (
 	}
 }
 
-// await waits for j to finish or for the caller to give up.
+// await waits for j to finish or for the caller to give up. A departing
+// waiter detaches from the job; the last one out cancels the job's
+// context so an unwanted computation stops instead of running to
+// completion.
 func (p *Pool) await(ctx context.Context, j *poolJob) (any, error) {
 	select {
 	case <-j.done:
 		return j.val, j.err
 	case <-ctx.Done():
+		p.mu.Lock()
+		if !j.finalized {
+			j.waiters--
+			if j.waiters == 0 {
+				j.cancel()
+			}
+		}
+		p.mu.Unlock()
 		return nil, ctx.Err()
 	}
 }
@@ -132,6 +158,7 @@ func (p *Pool) fail(j *poolJob, err error) {
 		delete(p.pending, j.sig)
 	}
 	p.mu.Unlock()
+	j.cancel()
 	j.err = err
 	close(j.done)
 }
@@ -141,7 +168,16 @@ func (p *Pool) worker() {
 	for {
 		select {
 		case j := <-p.jobs:
-			j.val, j.err = j.run()
+			// A job whose waiters all departed while it sat in the queue
+			// (its context is already cancelled) is skipped outright:
+			// nobody will read the result, so running it would only burn
+			// the worker.
+			if j.ctx.Err() != nil {
+				j.err = j.ctx.Err()
+			} else {
+				j.val, j.err = j.run(j.ctx)
+			}
+			j.cancel()
 			p.mu.Lock()
 			j.finalized = true
 			if p.pending[j.sig] == j {

@@ -23,7 +23,7 @@ func TestPoolBoundedConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := p.Submit(context.Background(), fmt.Sprintf("job-%d", i), func() (any, error) {
+			_, err := p.Submit(context.Background(), fmt.Sprintf("job-%d", i), func(context.Context) (any, error) {
 				now := running.Add(1)
 				for {
 					old := peak.Load()
@@ -64,7 +64,7 @@ func TestPoolCoalescesSameSignature(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := p.Submit(context.Background(), "same", func() (any, error) {
+			v, err := p.Submit(context.Background(), "same", func(context.Context) (any, error) {
 				executions.Add(1)
 				<-gate
 				return "result", nil
@@ -102,7 +102,7 @@ func TestPoolSubmitHonorsContext(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	go p.Submit(context.Background(), "blocker", func() (any, error) {
+	go p.Submit(context.Background(), "blocker", func(context.Context) (any, error) {
 		close(started)
 		<-block
 		return nil, nil
@@ -110,7 +110,7 @@ func TestPoolSubmitHonorsContext(t *testing.T) {
 	<-started // the only worker is now occupied
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, err := p.Submit(ctx, "waits-forever", func() (any, error) { return nil, nil })
+	_, err := p.Submit(ctx, "waits-forever", func(context.Context) (any, error) { return nil, nil })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
@@ -126,7 +126,7 @@ func TestPoolAbandonedJobFailsWaitersWithErrNotScheduled(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	go p.Submit(context.Background(), "blocker", func() (any, error) {
+	go p.Submit(context.Background(), "blocker", func(context.Context) (any, error) {
 		close(started)
 		<-block
 		return nil, nil
@@ -138,7 +138,7 @@ func TestPoolAbandonedJobFailsWaitersWithErrNotScheduled(t *testing.T) {
 	actx, acancel := context.WithCancel(context.Background())
 	aErr := make(chan error, 1)
 	go func() {
-		_, err := p.Submit(actx, "x", func() (any, error) { return nil, nil })
+		_, err := p.Submit(actx, "x", func(context.Context) (any, error) { return nil, nil })
 		aErr <- err
 	}()
 	// B: coalesces onto A's pending job.
@@ -155,7 +155,7 @@ func TestPoolAbandonedJobFailsWaitersWithErrNotScheduled(t *testing.T) {
 	}
 	bErr := make(chan error, 1)
 	go func() {
-		_, err := p.Submit(context.Background(), "x", func() (any, error) { return nil, nil })
+		_, err := p.Submit(context.Background(), "x", func(context.Context) (any, error) { return nil, nil })
 		bErr <- err
 	}()
 	for p.Stats().Coalesced == 0 {
@@ -177,14 +177,14 @@ func TestPoolAbandonedJobFailsWaitersWithErrNotScheduled(t *testing.T) {
 func TestPoolCloseFailsPending(t *testing.T) {
 	p := NewPool(1, 8)
 	release := make(chan struct{})
-	go p.Submit(context.Background(), "running", func() (any, error) {
+	go p.Submit(context.Background(), "running", func(context.Context) (any, error) {
 		<-release
 		return nil, nil
 	})
 	time.Sleep(5 * time.Millisecond)
 	close(release)
 	p.Close()
-	if _, err := p.Submit(context.Background(), "late", func() (any, error) { return nil, nil }); !errors.Is(err, ErrPoolClosed) {
+	if _, err := p.Submit(context.Background(), "late", func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("submit after close = %v, want ErrPoolClosed", err)
 	}
 	p.Close() // idempotent

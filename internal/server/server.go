@@ -12,10 +12,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/cyclecover/cyclecover/internal/cache"
+	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/instance"
 	"github.com/cyclecover/cyclecover/internal/ring"
@@ -84,16 +86,23 @@ type Config struct {
 	// Queue bounds plan computations waiting for a worker (0 → 64,
 	// negative → unbuffered).
 	Queue int
+	// PlanTimeout bounds each plan request (for /plan/batch: the whole
+	// request — all its items share the deadline). On expiry the caller
+	// gets 504 with a structured body, the waiter detaches, and the
+	// underlying construction is cancelled mid-search once no other
+	// caller wants it. 0 disables the deadline.
+	PlanTimeout time.Duration
 }
 
 // Server is the planner service: HTTP handlers over a covering cache and
 // a bounded worker pool. Create with New, expose with Handler, stop with
 // Close (after draining HTTP traffic).
 type Server struct {
-	plans *cache.Plans
-	pool  *Pool
-	mux   *http.ServeMux
-	start time.Time
+	plans       *cache.Plans
+	pool        *Pool
+	mux         *http.ServeMux
+	start       time.Time
+	planTimeout time.Duration
 
 	mu       sync.Mutex
 	requests map[string]uint64 // per-endpoint served count
@@ -102,11 +111,12 @@ type Server struct {
 // New builds a ready-to-serve planner service.
 func New(cfg Config) *Server {
 	s := &Server{
-		plans:    cache.New(cfg.CacheSize),
-		pool:     NewPool(cfg.Workers, cfg.Queue),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		requests: make(map[string]uint64),
+		plans:       cache.New(cfg.CacheSize),
+		pool:        NewPool(cfg.Workers, cfg.Queue),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		planTimeout: cfg.PlanTimeout,
+		requests:    make(map[string]uint64),
 	}
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/plan/batch", s.handlePlanBatch)
@@ -136,6 +146,24 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// timeoutBody is the JSON shape of a 504: the error plus the deadline
+// that expired, so clients can distinguish a configured plan timeout
+// from other unavailability and size their retry accordingly.
+type timeoutBody struct {
+	Error   string `json:"error"`
+	Timeout string `json:"timeout"`
+}
+
+// planContext derives the execution context for a plan request: the
+// request's own context (fires on client disconnect) bounded by the
+// configured plan timeout, when one is set.
+func (s *Server) planContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.planTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.planTimeout)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -153,6 +181,7 @@ type planResponse struct {
 	Signature   string  `json:"signature"`
 	N           int     `json:"n"`
 	Demand      string  `json:"demand"`
+	Strategy    string  `json:"strategy,omitempty"` // non-default only
 	Size        int     `json:"size"`
 	Rho         int     `json:"rho,omitempty"` // all-to-all demands only
 	Optimal     bool    `json:"optimal"`
@@ -182,19 +211,29 @@ type wdmNetwork struct {
 	cost        float64
 }
 
-// planOne validates one (n, demand-spec) request and computes its plan
-// through the worker pool and covering cache. On failure it returns the
-// HTTP status the error maps to (400 for malformed input, 503 while
-// shutting down or when the caller gave up, 500 otherwise). It is the
-// shared execution path of /plan and /plan/batch: identical requests in
-// flight — whether from single or batch callers — coalesce on the pool's
-// same-signature batching and the cache's single flight.
-func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse, int, error) {
+// planOne validates one (n, demand-spec, strategy) request and computes
+// its plan through the worker pool and covering cache. On failure it
+// returns the HTTP status the error maps to (400 for malformed input,
+// 504 when the plan deadline expired, 503 while shutting down or when
+// the caller gave up, 500 otherwise). It is the shared execution path of
+// /plan and /plan/batch: identical requests in flight — whether from
+// single or batch callers — coalesce on the pool's same-signature
+// batching and the cache's single flight. ctx cancellation propagates
+// all the way into the construction searches: a request that times out
+// detaches immediately, and the search itself is aborted once no other
+// request wants its result.
+func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (planResponse, int, error) {
 	if err := checkRingSize(n); err != nil {
 		return planResponse{}, http.StatusBadRequest, err
 	}
 	if spec == "" {
 		spec = "alltoall"
+	}
+	if strategy != "" {
+		if _, ok := construct.LookupStrategy(strategy); !ok {
+			return planResponse{}, http.StatusBadRequest,
+				fmt.Errorf("unknown strategy %q (have %s, or omit for the default pipeline)", strategy, strings.Join(construct.Strategies(), ", "))
+		}
 	}
 	in, err := instance.Parse(n, spec)
 	if err != nil {
@@ -204,14 +243,14 @@ func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse,
 		return planResponse{}, http.StatusBadRequest, err
 	}
 
-	opts := cache.Options{}
+	opts := cache.Options{Strategy: strategy}
 	sig := cache.Signature(in, opts)
-	v, err := s.pool.Submit(ctx, sig, func() (any, error) {
-		res, coverHit, err := s.plans.Cover(in, opts)
+	v, err := s.pool.Submit(ctx, sig, func(jctx context.Context) (any, error) {
+		res, coverHit, err := s.plans.CoverCtx(jctx, in, opts)
 		if err != nil {
 			return nil, err
 		}
-		nw, netHit, err := s.plans.Network(in, opts)
+		nw, netHit, err := s.plans.NetworkCtx(jctx, in, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +267,14 @@ func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse,
 	})
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || ctx.Err() != nil {
+		switch {
+		case errors.Is(err, construct.ErrNotApplicable):
+			// A known strategy that does not address this demand class is
+			// a client-side input problem, not a server failure.
+			status = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || ctx.Err() != nil:
 			status = http.StatusServiceUnavailable
 		}
 		return planResponse{}, status, fmt.Errorf("plan failed: %w", err)
@@ -239,6 +285,7 @@ func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse,
 		Signature:   sig,
 		N:           n,
 		Demand:      in.Name,
+		Strategy:    strategy,
 		Size:        pl.res.Covering.Size(),
 		Optimal:     pl.res.Optimal,
 		Method:      string(pl.res.Method),
@@ -257,9 +304,11 @@ func (s *Server) planOne(ctx context.Context, n int, spec string) (planResponse,
 	return resp, http.StatusOK, nil
 }
 
-// handlePlan serves GET/POST /plan?n=<int>&demand=<spec>. The covering
-// and its WDM plan are computed through the worker pool and covering
-// cache; the X-Cache header reports HIT when the plan came from memory.
+// handlePlan serves GET/POST /plan?n=<int>&demand=<spec>[&strategy=<name>].
+// The covering and its WDM plan are computed through the worker pool and
+// covering cache; the X-Cache header reports HIT when the plan came from
+// memory. With a configured plan timeout, an expired deadline answers
+// 504 with a structured body naming the timeout.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.count("/plan")
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -277,8 +326,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad n %q: %v", nStr, err)
 		return
 	}
-	resp, status, err := s.planOne(r.Context(), n, r.FormValue("demand"))
+	ctx, cancel := s.planContext(r)
+	defer cancel()
+	resp, status, err := s.planOne(ctx, n, r.FormValue("demand"), r.FormValue("strategy"))
 	if err != nil {
+		if status == http.StatusGatewayTimeout {
+			writeJSON(w, status, timeoutBody{Error: err.Error(), Timeout: s.planTimeout.String()})
+			return
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -304,8 +359,9 @@ const maxBatchLine = 1 << 20
 
 // batchPlanRequest is one NDJSON line of a POST /plan/batch body.
 type batchPlanRequest struct {
-	N      int    `json:"n"`
-	Demand string `json:"demand"` // spec; empty means alltoall
+	N        int    `json:"n"`
+	Demand   string `json:"demand"`   // spec; empty means alltoall
+	Strategy string `json:"strategy"` // registry name; empty means the default pipeline
 }
 
 // batchPlanLine is one NDJSON line of the /plan/batch response: the
@@ -374,6 +430,13 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// One deadline bounds the whole batch: items share the request's
+	// plan-timeout budget. When it (or the client's disconnect) fires,
+	// in-flight items detach from their constructions — each search is
+	// aborted once no other request wants it — and not-yet-scheduled
+	// items fail fast with the context error in their slot.
+	ctx, cancel := s.planContext(r)
+	defer cancel()
 	results := make(chan batchPlanLine)
 	var wg sync.WaitGroup
 	for i, it := range items {
@@ -384,7 +447,7 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 				results <- batchPlanLine{Index: i, Error: it.err.Error()}
 				return
 			}
-			resp, _, err := s.planOne(r.Context(), it.req.N, it.req.Demand)
+			resp, _, err := s.planOne(ctx, it.req.N, it.req.Demand, it.req.Strategy)
 			if err != nil {
 				results <- batchPlanLine{Index: i, Error: err.Error()}
 				return
@@ -483,7 +546,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// coalescing hands one caller another's verdict, so a forgeable hash
 	// would let a crafted body inherit a different covering's result.
 	sig := fmt.Sprintf("verify:%x", sha256.Sum256(body))
-	v, err := s.pool.Submit(r.Context(), sig, func() (any, error) {
+	v, err := s.pool.Submit(r.Context(), sig, func(context.Context) (any, error) {
 		resp := verifyResponse{Size: len(req.Cycles)}
 		if isAllToAll(in) {
 			resp.Rho = cover.Rho(req.N)
@@ -557,6 +620,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("cycled_cache_hits_total", l, store.s.Hits)
 		emit("cycled_cache_misses_total", l, store.s.Misses)
 		emit("cycled_cache_coalesced_total", l, store.s.Coalesced)
+		emit("cycled_cache_abandoned_total", l, store.s.Abandoned)
+		emit("cycled_cache_cancelled_total", l, store.s.Cancelled)
 		emit("cycled_cache_evictions_total", l, store.s.Evictions)
 		emit("cycled_cache_entries", l, uint64(store.s.Entries))
 	}

@@ -1,6 +1,7 @@
 package cyclecover
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -13,12 +14,20 @@ import (
 // served from an LRU-bounded cache of verified results, and concurrent
 // first requests for one signature collapse onto a single computation.
 //
+// Every planning method has a -Ctx variant taking a context.Context:
+// cancellation or a deadline detaches the caller immediately, the
+// underlying construction continues for any other waiters, and is itself
+// aborted — mid-search, within one branch expansion — when the last
+// waiter departs. A cancelled construction never poisons the cache. The
+// context-free methods are equivalent to passing context.Background().
+//
 // A Planner is safe for concurrent use. Coverings it returns are private
 // clones — callers may mutate them freely — while returned *Network
 // values are shared and must be treated as read-only. The zero Planner is
 // not usable; call NewPlanner.
 type Planner struct {
 	plans *cache.Plans
+	opts  cache.Options
 }
 
 // CacheStats snapshots a Planner's cache counters.
@@ -29,6 +38,7 @@ type PlannerOption func(*plannerConfig)
 
 type plannerConfig struct {
 	capacity int
+	strategy string
 }
 
 // WithCacheSize bounds each of the planner's stores (coverings, networks)
@@ -37,19 +47,36 @@ func WithCacheSize(n int) PlannerOption {
 	return func(c *plannerConfig) { c.capacity = n }
 }
 
+// WithStrategy selects the construction strategy for every plan this
+// planner produces, by registry name (see Strategies). The empty default
+// is the fixed auto pipeline: the paper's machinery for λK_n demands,
+// greedy otherwise. An unknown name surfaces as an error from the first
+// planning call, not from NewPlanner.
+func WithStrategy(name string) PlannerOption {
+	return func(c *plannerConfig) { c.strategy = name }
+}
+
 // NewPlanner returns a planner with an empty cache.
 func NewPlanner(opts ...PlannerOption) *Planner {
 	var cfg plannerConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Planner{plans: cache.New(cfg.capacity)}
+	return &Planner{
+		plans: cache.New(cfg.capacity),
+		opts:  cache.Options{Strategy: cfg.strategy},
+	}
 }
 
 // CoverAllToAll is the cached CoverAllToAll: identical results, but the
 // construction runs once per ring size for the planner's lifetime.
 func (p *Planner) CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
-	res, _, err := p.plans.CoverAllToAll(n, cache.Options{})
+	return p.CoverAllToAllCtx(context.Background(), n)
+}
+
+// CoverAllToAllCtx is CoverAllToAll under a context.
+func (p *Planner) CoverAllToAllCtx(ctx context.Context, n int) (cv *Covering, optimal bool, err error) {
+	res, _, err := p.plans.CoverAllToAllCtx(ctx, n, p.opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -60,7 +87,15 @@ func (p *Planner) CoverAllToAll(n int) (cv *Covering, optimal bool, err error) {
 // upgrades uniform λK_n demands to the λ-composition constructor rather
 // than the generic greedy path.
 func (p *Planner) CoverInstance(in Instance) (*Covering, error) {
-	res, _, err := p.plans.Cover(in, cache.Options{})
+	return p.CoverInstanceCtx(context.Background(), in)
+}
+
+// CoverInstanceCtx is CoverInstance under a context: a fired ctx aborts
+// an in-flight construction (for this caller immediately; for the search
+// itself when no other caller still wants it) without poisoning the
+// cache.
+func (p *Planner) CoverInstanceCtx(ctx context.Context, in Instance) (*Covering, error) {
+	res, _, err := p.plans.CoverCtx(ctx, in, p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +106,12 @@ func (p *Planner) CoverInstance(in Instance) (*Covering, error) {
 // the covering (also cached) when needed. The returned network is shared:
 // treat it as read-only.
 func (p *Planner) PlanWDM(in Instance) (*Network, error) {
-	nw, _, err := p.plans.Network(in, cache.Options{})
+	return p.PlanWDMCtx(context.Background(), in)
+}
+
+// PlanWDMCtx is PlanWDM under a context.
+func (p *Planner) PlanWDMCtx(ctx context.Context, in Instance) (*Network, error) {
+	nw, _, err := p.plans.NetworkCtx(ctx, in, p.opts)
 	return nw, err
 }
 
@@ -96,6 +136,17 @@ type PlanManyResult struct {
 // the batch yields an error in its slot, never a panic, and does not
 // affect the other slots.
 func (p *Planner) PlanMany(ins []Instance, workers int) []PlanManyResult {
+	return p.PlanManyCtx(context.Background(), ins, workers)
+}
+
+// PlanManyCtx is PlanMany under a context. When ctx fires mid-batch,
+// slots that have not started are skipped and report ctx's error
+// (context.Canceled for a disconnect, context.DeadlineExceeded for a
+// deadline), in-flight slots detach from their constructions (each
+// construction is aborted once no caller wants it), and completed slots
+// keep their results — the returned slice always has one entry per
+// input, in input order.
+func (p *Planner) PlanManyCtx(ctx context.Context, ins []Instance, workers int) []PlanManyResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -113,7 +164,14 @@ func (p *Planner) PlanMany(ins []Instance, workers int) []PlanManyResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = p.planOne(ins[i])
+				// A fired context skips all remaining work: unstarted
+				// slots must not launch new constructions for a caller
+				// that has already gone away.
+				if err := ctx.Err(); err != nil {
+					out[i] = PlanManyResult{Err: err}
+					continue
+				}
+				out[i] = p.planOne(ctx, ins[i])
 			}
 		}()
 	}
@@ -127,12 +185,12 @@ func (p *Planner) PlanMany(ins []Instance, workers int) []PlanManyResult {
 
 // planOne computes one PlanMany slot: cached covering plus cached WDM
 // network for the instance.
-func (p *Planner) planOne(in Instance) PlanManyResult {
-	res, _, err := p.plans.Cover(in, cache.Options{})
+func (p *Planner) planOne(ctx context.Context, in Instance) PlanManyResult {
+	res, _, err := p.plans.CoverCtx(ctx, in, p.opts)
 	if err != nil {
 		return PlanManyResult{Err: err}
 	}
-	nw, _, err := p.plans.Network(in, cache.Options{})
+	nw, _, err := p.plans.NetworkCtx(ctx, in, p.opts)
 	if err != nil {
 		return PlanManyResult{Err: err}
 	}
