@@ -266,7 +266,7 @@ func BenchmarkSingleFailureSweep(b *testing.B) {
 	sim := survive.NewSimulator(nw)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sweep, err := sim.SingleFailureSweep()
+		sweep, err := sim.Sweep(survive.SweepOptions{K: 1})
 		if err != nil || !sweep.AllRestored {
 			b.Fatal("sweep failed")
 		}

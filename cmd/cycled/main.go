@@ -8,6 +8,10 @@
 //	POST /plan/batch                  NDJSON bulk planning: one request per
 //	                                  line in, results streamed per line as
 //	                                  they complete (join on "index")
+//	GET  /simulate?n=13&k=2           plan (cached) + k-failure sweep:
+//	                                  restoration rates, worst scenarios,
+//	                                  critical links; k ≥ 3 sampled by
+//	                                  &sample= and &seed=
 //	POST /verify                      verify a covering against a demand
 //	GET  /healthz                     liveness + cache/pool counters
 //	GET  /metrics                     Prometheus text exposition

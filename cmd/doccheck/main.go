@@ -1,0 +1,178 @@
+// Command doccheck enforces the repository's documentation contract as
+// part of the build (CI runs it next to go vet):
+//
+//   - every Go package in the module — including every internal/*
+//     package and every command — carries a package-level godoc
+//     comment;
+//   - every exported identifier of the root cyclecover package (the
+//     public API surface: planner.go, cyclecover.go, …) carries a doc
+//     comment.
+//
+// Usage:
+//
+//	doccheck [module-root]
+//
+// The argument defaults to the current directory. Exit status 1 lists
+// every violation; 0 means the contract holds.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d documentation problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// check walks every package directory under root and returns the list
+// of contract violations, deterministically ordered.
+func check(root string) ([]string, error) {
+	// WalkDir yields cleaned paths; root must be cleaned too or the
+	// `dir == root` comparison (which gates the exported-docs check for
+	// the module's public package) silently never matches — e.g. for a
+	// tab-completed trailing slash.
+	root = filepath.Clean(root)
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, dir := range dirs {
+		ps, err := checkDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// packageDirs lists the directories under root holding non-test Go
+// files, skipping hidden directories and testdata.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir verifies one package directory: the package comment always,
+// and per-identifier doc comments when the directory is the module root
+// (the public API).
+func checkDir(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package-level godoc comment", dir, pkg.Name))
+		}
+		if dir == root {
+			problems = append(problems, undocumentedExports(fset, pkg)...)
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// hasPackageDoc reports whether any file of the package carries a
+// package comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// undocumentedExports lists every exported top-level identifier of the
+// package that has no doc comment — functions, methods, and the names
+// of type/const/var declarations (a group doc on the declaration block
+// covers its specs; a per-spec doc or trailing comment also counts).
+func undocumentedExports(fset *token.FileSet, pkg *ast.Package) []string {
+	var problems []string
+	flag := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					flag(d.Pos(), "function", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							flag(sp.Pos(), "type", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+							continue
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								flag(sp.Pos(), "value", name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}

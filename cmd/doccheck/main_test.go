@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write lays a file into the temp module tree.
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFlagsViolations(t *testing.T) {
+	root := t.TempDir()
+	// Root package: documented package, one documented and one
+	// undocumented export, one undocumented exported type.
+	write(t, root, "lib.go", `// Package lib is documented.
+package lib
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Exposed struct{}
+
+// grouped decl doc covers its specs.
+const (
+	A = 1
+	B = 2
+)
+`)
+	// Internal package without a package comment.
+	write(t, root, "internal/bare/bare.go", `package bare
+
+// Exported docs are NOT required outside the root package.
+func Fine() {}
+
+func AlsoFine() {}
+`)
+	// testdata and _test.go files are ignored.
+	write(t, root, "internal/bare/testdata/ignored.go", `package ignored`)
+	write(t, root, "lib_test.go", `package lib
+
+func TestHelperNoDoc() {}
+`)
+
+	problems, err := check(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"package bare has no package-level godoc comment",
+		"exported function Undocumented is undocumented",
+		"exported type Exposed is undocumented",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %q in:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"Documented", "Fine", "ignored", "A is", "B is"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("false positive mentioning %q in:\n%s", reject, joined)
+		}
+	}
+	if len(problems) != 3 {
+		t.Errorf("want exactly 3 problems, got %d:\n%s", len(problems), joined)
+	}
+
+	// A non-canonical root (trailing slash, dot segments) must enforce
+	// the same contract — the root-package comparison is path-cleaned.
+	slashed, err := check(root + string(filepath.Separator))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slashed) != len(problems) {
+		t.Errorf("trailing-slash root found %d problems, want %d", len(slashed), len(problems))
+	}
+}
+
+// TestCheckRepo is the self-test CI leans on: the repository this
+// command ships in must satisfy its own documentation contract.
+func TestCheckRepo(t *testing.T) {
+	problems, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Errorf("repository violates the documentation contract:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -1,15 +1,25 @@
-// Command wdmsim plans a survivable WDM ring for all-to-all traffic and
-// runs failure drills against it.
+// Command wdmsim plans a survivable WDM ring and drives k-failure
+// drills against it on the parallel sweep engine: exhaustive sweeps for
+// k ≤ 2, deterministically sampled sweeps for k ≥ 3, all through the
+// same cached planning path the cycled service serves (POST /simulate).
 //
 // Usage:
 //
-//	wdmsim -n 11                 # plan + sweep all single-link failures
-//	wdmsim -n 11 -fail 3         # fail one specific link
-//	wdmsim -n 11 -fail 3,7       # simultaneous double failure
-//	wdmsim -n 9 -double          # exhaustive double-failure sweep
+//	wdmsim -n 11                      # plan + sweep all single-link failures
+//	wdmsim -n 11 -fail 3              # fail one specific link
+//	wdmsim -n 11 -fail 3,7            # simultaneous double failure
+//	wdmsim -n 9 -k 2                  # exhaustive double-failure sweep
+//	wdmsim -n 16 -k 3 -sample 500     # seeded sample of triple failures
+//	wdmsim -n 12 -demand hub:0 -strategy greedy -timeout 2s
+//
+// -seed reproduces a sampled sweep exactly; -workers bounds the sweep's
+// parallelism (the aggregate report is identical for every worker
+// count); -timeout bounds planning and sweeping together, mirroring the
+// service's -plan-timeout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,31 +31,43 @@ import (
 
 func main() {
 	n := flag.Int("n", 11, "ring size (>= 3)")
-	failSpec := flag.String("fail", "", "comma-separated links to fail (default: sweep all single failures)")
-	double := flag.Bool("double", false, "run the exhaustive double-failure sweep")
+	demand := flag.String("demand", "alltoall", "demand spec: alltoall | lambda:<k> | hub:<node> | neighbors | random:<density>:<seed>")
+	strategy := flag.String("strategy", "", "construction strategy (see cyclecover.Strategies); empty = default pipeline")
+	failSpec := flag.String("fail", "", "comma-separated links to fail (skips the sweep)")
+	k := flag.Int("k", 1, "failure multiplicity per sweep scenario")
+	sample := flag.Int("sample", 0, "max sampled scenarios for k >= 3 (0 = library default)")
+	seed := flag.Int64("seed", 0, "scenario sampler seed (k >= 3)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "deadline for planning + sweeping (0 = none)")
 	flag.Parse()
 
-	cv, optimal, err := cyclecover.CoverAllToAll(*n)
+	in, err := cyclecover.ParseInstance(*n, *demand)
 	if err != nil {
 		fatal(err)
 	}
-	in := cyclecover.AllToAll(*n)
-	nw, err := cyclecover.PlanWDM(cv, in)
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	fmt.Printf("planned C_%d: %d subnetworks (optimal=%v), %d wavelengths, %d ADMs, max transit %d, cost %.1f\n",
-		*n, cv.Size(), optimal, nw.Wavelengths(), nw.ADMCount(), nw.MaxTransit(),
-		cyclecover.DefaultCostModel().Cost(nw))
-
-	sim := cyclecover.NewSimulator(nw)
+	var opts []cyclecover.PlannerOption
+	if *strategy != "" {
+		opts = append(opts, cyclecover.WithStrategy(*strategy))
+	}
+	planner := cyclecover.NewPlanner(opts...)
 
 	if *failSpec != "" {
 		links, err := parseLinks(*failSpec)
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := sim.Fail(links...)
+		nw, err := planner.PlanWDMCtx(ctx, in)
+		if err != nil {
+			fatal(err)
+		}
+		printPlan(*n, nw)
+		rep, err := cyclecover.NewSimulator(nw).Fail(links...)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,20 +83,48 @@ func main() {
 		return
 	}
 
-	sweep, err := sim.SingleFailureSweep()
+	sim, err := planner.SimulateCtx(ctx, in, cyclecover.SweepOptions{
+		K:       *k,
+		Sample:  *sample,
+		Seed:    *seed,
+		Workers: *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("single-failure sweep over %d links: all restored = %v\n", sweep.Links, sweep.AllRestored)
-	fmt.Printf("  %d reroutes total, worst link %d affects %d requests, max spare path %d links\n",
-		sweep.TotalAffected, sweep.WorstLink, sweep.WorstAffected, sweep.MaxSpareLen)
+	printPlan(*n, sim.Network)
+	printSweep(sim.Sweep)
+}
 
-	if *double {
-		mean, worst, err := sim.DoubleFailureSweep()
-		if err != nil {
-			fatal(err)
+func printPlan(n int, nw *cyclecover.Network) {
+	fmt.Printf("planned C_%d: %d subnetworks, %d wavelengths, %d ADMs, max transit %d, cost %.1f\n",
+		n, len(nw.Subnets), nw.Wavelengths(), nw.ADMCount(), nw.MaxTransit(),
+		cyclecover.DefaultCostModel().Cost(nw))
+}
+
+func printSweep(sw cyclecover.SweepResult) {
+	scope := "exhaustive"
+	switch {
+	case sw.Sampled:
+		scope = fmt.Sprintf("sampled %d of %d (seed %d)", sw.Planned, sw.Scenarios, sw.Seed)
+	case !sw.Complete:
+		scope = fmt.Sprintf("budget-cut to %d of %d", sw.Planned, sw.Scenarios)
+	}
+	fmt.Printf("%d-failure sweep, %s: all restored = %v\n", sw.K, scope, sw.AllRestored)
+	fmt.Printf("  restoration mean %.4f worst %.4f; %d reroutes, %d lost over %d scenarios\n",
+		sw.MeanRestoration, sw.WorstRestoration, sw.TotalAffected, sw.TotalLost, sw.Evaluated)
+	fmt.Printf("  heaviest reroute load: scenario %v affects %d requests; max spare path %d links\n",
+		sw.MostAffected.Links, sw.MostAffected.Affected, sw.MaxSpareLen)
+	for _, worst := range sw.Worst {
+		fmt.Printf("  worst case: links %v lose %d of %d demands (rate %.4f)\n",
+			worst.Links, worst.Lost, worst.Lost+worst.Affected+worst.Unaffected, worst.Rate)
+	}
+	if len(sw.Critical) > 0 {
+		parts := make([]string, 0, len(sw.Critical))
+		for _, c := range sw.Critical {
+			parts = append(parts, fmt.Sprintf("%d(%d)", c.Link, c.LostDemands))
 		}
-		fmt.Printf("double-failure sweep: mean restoration %.4f, worst %.4f\n", mean, worst)
+		fmt.Printf("  critical links (lost demands): %s\n", strings.Join(parts, " "))
 	}
 }
 

@@ -24,7 +24,11 @@
 //     independently selectable by name, and "portfolio" races them
 //     under one context with deterministic winner selection;
 //   - Verify — independent validity checking of any covering;
-//   - PlanWDM, NewSimulator — the optical layer and failure simulation;
+//   - PlanWDM, NewSimulator — the optical layer and failure simulation,
+//     including the parallel k-failure sweep engine (SweepOptions /
+//     SweepResult): exhaustive single- and double-failure sweeps,
+//     deterministically sampled k ≥ 3 sweeps, per-scenario reports and
+//     critical-link attribution, cancellable mid-sweep;
 //   - Planner — the cached planning facade: verified coverings and WDM
 //     plans memoized per instance signature with single-flight
 //     deduplication, the same path the cycled HTTP service (cmd/cycled)
@@ -32,11 +36,14 @@
 //     propagate cancellation and deadlines all the way into
 //     branch-and-bound: a caller that gives up detaches immediately and
 //     the search is cancelled once nobody wants it, without poisoning
-//     the cache.
+//     the cache. Planner.Simulate plans through the cache and sweeps
+//     the result — plan once, sweep many — the same path POST /simulate
+//     serves.
 //
 // See DESIGN.md for the architecture (§3 covers the strategy registry,
-// §5 the planner service, §5.5 the context and deadline semantics) and
-// EXPERIMENTS.md for the reproduction results.
+// §5 the planner service, §5.5 the context and deadline semantics, §6
+// the survivability subsystem) and EXPERIMENTS.md for the reproduction
+// results.
 package cyclecover
 
 import (
@@ -72,6 +79,15 @@ type (
 	Simulator = survive.Simulator
 	// FailureReport summarises one failure scenario.
 	FailureReport = survive.FailureReport
+	// SweepOptions configures a k-failure sweep (multiplicity, workers,
+	// sampling, budget).
+	SweepOptions = survive.SweepOptions
+	// SweepResult aggregates a k-failure sweep.
+	SweepResult = survive.SweepResult
+	// ScenarioReport is the structured outcome of one failure scenario.
+	ScenarioReport = survive.ScenarioReport
+	// LinkCriticality attributes sweep loss to a physical link.
+	LinkCriticality = survive.LinkCriticality
 	// Link identifies a ring link by its lower endpoint.
 	Link = ring.Link
 )

@@ -100,7 +100,7 @@ func TestFacadePlanAndSimulate(t *testing.T) {
 		t.Error("cost must be positive")
 	}
 	sim := NewSimulator(nw)
-	sweep, err := sim.SingleFailureSweep()
+	sweep, err := sim.Sweep(SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func TestEndToEndPipeline(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		sweep, err := NewSimulator(nw).SingleFailureSweep()
+		sweep, err := NewSimulator(nw).Sweep(SweepOptions{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}

@@ -420,8 +420,10 @@ type F2Row struct {
 	DoubleWorst    float64
 }
 
-// TableF2 runs the failure sweeps. Double-failure sweeps are quadratic in
-// n and run only for n ≤ doubleLimit.
+// TableF2 runs the failure sweeps on the survivability engine (serial:
+// the sweep sizes here are small and the table rows already fan out via
+// ParallelTableF2). Double-failure sweeps are quadratic in n and run
+// only for n ≤ doubleLimit.
 func TableF2(ns []int, doubleLimit int) ([]F2Row, error) {
 	var rows []F2Row
 	for _, n := range ns {
@@ -430,7 +432,7 @@ func TableF2(ns []int, doubleLimit int) ([]F2Row, error) {
 			return nil, err
 		}
 		sim := survive.NewSimulator(nw)
-		sweep, err := sim.SingleFailureSweep()
+		sweep, err := sim.Sweep(survive.SweepOptions{K: 1, Workers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -439,7 +441,7 @@ func TableF2(ns []int, doubleLimit int) ([]F2Row, error) {
 			Demands:        n * (n - 1) / 2,
 			Subnets:        len(nw.Subnets),
 			AllRestored:    sweep.AllRestored,
-			AffectedPerCut: sweep.WorstAffected,
+			AffectedPerCut: sweep.MostAffected.Affected,
 			MaxSpareLen:    sweep.MaxSpareLen,
 			DoubleMean:     -1,
 			DoubleWorst:    -1,
@@ -448,11 +450,11 @@ func TableF2(ns []int, doubleLimit int) ([]F2Row, error) {
 			row.MeanSpareLen = float64(sweep.SumSpareLen) / float64(sweep.TotalAffected)
 		}
 		if n <= doubleLimit {
-			mean, worst, err := sim.DoubleFailureSweep()
+			double, err := sim.Sweep(survive.SweepOptions{K: 2, Workers: 1})
 			if err != nil {
 				return nil, err
 			}
-			row.DoubleMean, row.DoubleWorst = mean, worst
+			row.DoubleMean, row.DoubleWorst = double.MeanRestoration, double.WorstRestoration
 		}
 		rows = append(rows, row)
 	}

@@ -1,5 +1,6 @@
-// Package server exposes the planner over HTTP/JSON: /plan, /plan/batch
-// and /verify for the work itself, /healthz and /metrics for operations.
+// Package server exposes the planner over HTTP/JSON: /plan, /plan/batch,
+// /simulate and /verify for the work itself, /healthz and /metrics for
+// operations.
 // Requests are executed by a bounded worker pool that batches same-signature requests
 // — while a signature is queued or running, later requests for it attach
 // to the existing job instead of occupying another worker — and results

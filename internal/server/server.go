@@ -120,6 +120,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/plan/batch", s.handlePlanBatch)
+	s.mux.HandleFunc("/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/verify", s.handleVerify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -174,6 +175,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// jobStatus maps a failed pool job's error to the HTTP status it
+// answers with: 400 for client-side input problems, 504 when the plan
+// deadline expired, 503 while shutting down or when the caller gave up,
+// 500 otherwise. Shared by /plan, /plan/batch and /simulate.
+func jobStatus(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, construct.ErrNotApplicable):
+		// A known strategy that does not address this demand class is
+		// a client-side input problem, not a server failure.
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || ctx.Err() != nil:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 // planResponse is the JSON shape of a successful /plan.
@@ -266,18 +285,7 @@ func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (pla
 		}, nil
 	})
 	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, construct.ErrNotApplicable):
-			// A known strategy that does not address this demand class is
-			// a client-side input problem, not a server failure.
-			status = http.StatusBadRequest
-		case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
-		case errors.Is(err, ErrPoolClosed) || errors.Is(err, ErrNotScheduled) || ctx.Err() != nil:
-			status = http.StatusServiceUnavailable
-		}
-		return planResponse{}, status, fmt.Errorf("plan failed: %w", err)
+		return planResponse{}, jobStatus(ctx, err), fmt.Errorf("plan failed: %w", err)
 	}
 	pl := v.(planned)
 

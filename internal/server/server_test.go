@@ -388,14 +388,14 @@ func postNDJSON(t *testing.T, url, body string) (*http.Response, []batchPlanLine
 func TestPlanBatchMixedItems(t *testing.T) {
 	_, ts := newTestServer(t)
 	body := strings.Join([]string{
-		`{"n": 9}`,                             // 0: odd all-to-all
-		`{"n": 8, "demand": "alltoall"}`,       // 1: even all-to-all
-		`{"n": 10, "demand": "hub:3"}`,         // 2: hub
-		`{"n": 9, "demand": "hub:99"}`,         // 3: out-of-range hub → error
-		`{"n": 2}`,                             // 4: ring too small → error
-		`not json at all`,                      // 5: malformed line → error
-		`{"n": 9, "demand": "random:NaN:1"}`,   // 6: non-finite density → error
-		`{"n": 7, "demand": "lambda:2"}`,       // 7: λK_n
+		`{"n": 9}`,                           // 0: odd all-to-all
+		`{"n": 8, "demand": "alltoall"}`,     // 1: even all-to-all
+		`{"n": 10, "demand": "hub:3"}`,       // 2: hub
+		`{"n": 9, "demand": "hub:99"}`,       // 3: out-of-range hub → error
+		`{"n": 2}`,                           // 4: ring too small → error
+		`not json at all`,                    // 5: malformed line → error
+		`{"n": 9, "demand": "random:NaN:1"}`, // 6: non-finite density → error
+		`{"n": 7, "demand": "lambda:2"}`,     // 7: λK_n
 	}, "\n")
 	resp, lines := postNDJSON(t, ts.URL+"/plan/batch", body)
 	if resp.StatusCode != http.StatusOK {
@@ -415,10 +415,10 @@ func TestPlanBatchMixedItems(t *testing.T) {
 		byIndex[l.Index] = l
 	}
 	wantErr := map[int]string{
-		3: "[0, 9)",    // hub range must be named
-		4: "",          // ring too small
+		3: "[0, 9)", // hub range must be named
+		4: "",       // ring too small
 		5: "bad batch line",
-		6: "finite",    // non-finite density must be named
+		6: "finite", // non-finite density must be named
 	}
 	for i := 0; i < 8; i++ {
 		l, ok := byIndex[i]

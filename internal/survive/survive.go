@@ -10,9 +10,14 @@
 // construction: every single-link failure is recoverable, because a
 // cycle's working arcs partition the ring, so a failed link breaks exactly
 // one working arc per subnetwork and the complementary path around the
-// cycle is intact. Double failures are also simulated: there the
-// complementary path may itself be broken, and the measured restoration
-// rate quantifies what single-failure protection does NOT promise.
+// cycle is intact. Beyond the guarantee, the sweep engine (SweepCtx)
+// measures what independent per-cycle protection delivers under k
+// simultaneous failures: there a protection path may itself be broken,
+// and the aggregated restoration rates quantify what single-failure
+// protection does NOT promise. Sweeps are exhaustive for k ≤ 2,
+// deterministically sampled for k ≥ 3, fan scenario evaluation over a
+// bounded worker pool with a bit-identical aggregate for every worker
+// count, and honour context cancellation mid-sweep. See DESIGN.md §6.
 package survive
 
 import (
@@ -114,73 +119,4 @@ func arcBroken(r ring.Ring, a ring.Arc, failed map[ring.Link]bool) bool {
 		}
 	}
 	return false
-}
-
-// SingleFailureSweep fails every link in turn and aggregates the outcome.
-type SweepResult struct {
-	Links         int
-	AllRestored   bool
-	TotalAffected int
-	TotalLost     int
-	MaxSpareLen   int
-	SumSpareLen   int
-	SumWorkingLen int
-	WorstLink     ring.Link // link whose failure affects the most requests
-	WorstAffected int
-}
-
-// SingleFailureSweep runs Fail for each of the n links.
-func (s *Simulator) SingleFailureSweep() (SweepResult, error) {
-	res := SweepResult{Links: s.nw.Ring.Links(), AllRestored: true}
-	for l := 0; l < s.nw.Ring.Links(); l++ {
-		rep, err := s.Fail(ring.Link(l))
-		if err != nil {
-			return SweepResult{}, err
-		}
-		if !rep.Restored() {
-			res.AllRestored = false
-			res.TotalLost += len(rep.Lost)
-		}
-		res.TotalAffected += len(rep.Affected)
-		if len(rep.Affected) > res.WorstAffected {
-			res.WorstAffected = len(rep.Affected)
-			res.WorstLink = ring.Link(l)
-		}
-		for _, rr := range rep.Affected {
-			res.SumWorkingLen += rr.WorkingLen
-			res.SumSpareLen += rr.SpareLen
-			if rr.SpareLen > res.MaxSpareLen {
-				res.MaxSpareLen = rr.SpareLen
-			}
-		}
-	}
-	return res, nil
-}
-
-// DoubleFailureSweep fails every unordered pair of distinct links and
-// returns the mean restoration rate — what independent per-cycle
-// protection delivers beyond its single-failure guarantee.
-func (s *Simulator) DoubleFailureSweep() (meanRestoration float64, worst float64, err error) {
-	links := s.nw.Ring.Links()
-	count := 0
-	sum := 0.0
-	worst = 1.0
-	for a := 0; a < links; a++ {
-		for b := a + 1; b < links; b++ {
-			rep, ferr := s.Fail(ring.Link(a), ring.Link(b))
-			if ferr != nil {
-				return 0, 0, ferr
-			}
-			rate := rep.RestorationRate()
-			sum += rate
-			if rate < worst {
-				worst = rate
-			}
-			count++
-		}
-	}
-	if count == 0 {
-		return 1, 1, nil
-	}
-	return sum / float64(count), worst, nil
 }

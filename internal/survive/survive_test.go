@@ -27,7 +27,7 @@ func simulator(t *testing.T, n int) *Simulator {
 func TestEverySingleFailureRestored(t *testing.T) {
 	for _, n := range []int{4, 5, 6, 7, 9, 11, 14} {
 		sim := simulator(t, n)
-		sweep, err := sim.SingleFailureSweep()
+		sweep, err := sim.Sweep(SweepOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -36,6 +36,9 @@ func TestEverySingleFailureRestored(t *testing.T) {
 		}
 		if sweep.TotalAffected == 0 {
 			t.Fatalf("n=%d: some failures must affect some demands", n)
+		}
+		if !sweep.Complete || sweep.Sampled {
+			t.Fatalf("n=%d: single-failure sweep must be exhaustive: %+v", n, sweep)
 		}
 	}
 }
@@ -86,10 +89,11 @@ func TestEveryLinkFailureAffectsEverySubnetwork(t *testing.T) {
 
 func TestDoubleFailures(t *testing.T) {
 	sim := simulator(t, 8)
-	mean, worst, err := sim.DoubleFailureSweep()
+	sweep, err := sim.Sweep(SweepOptions{K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	mean, worst := sweep.MeanRestoration, sweep.WorstRestoration
 	if worst > mean || mean > 1 {
 		t.Fatalf("mean %f, worst %f: inconsistent", mean, worst)
 	}
@@ -98,6 +102,24 @@ func TestDoubleFailures(t *testing.T) {
 	}
 	if worst <= 0 {
 		t.Fatal("protection should still save some demands")
+	}
+	if sweep.Scenarios != 28 || sweep.Planned != 28 || !sweep.Complete {
+		t.Fatalf("C(8,2) sweep bookkeeping wrong: %+v", sweep)
+	}
+	if sweep.AllRestored || sweep.LossyScenarios == 0 || len(sweep.Critical) == 0 {
+		t.Fatalf("double-failure loss must be attributed: %+v", sweep)
+	}
+	if len(sweep.Worst) != 1 || sweep.Worst[0].Lost == 0 {
+		t.Fatalf("worst scenario must be retained: %+v", sweep.Worst)
+	}
+	// The worst scenario must replay to the same outcome through Fail.
+	rep, err := sim.Fail(sweep.Worst[0].Links...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lost) != sweep.Worst[0].Lost || len(rep.Affected) != sweep.Worst[0].Affected {
+		t.Fatalf("worst scenario replay disagrees: report %+v, Fail lost %d affected %d",
+			sweep.Worst[0], len(rep.Lost), len(rep.Affected))
 	}
 }
 
@@ -137,12 +159,12 @@ func TestFailValidation(t *testing.T) {
 
 func TestSweepMetrics(t *testing.T) {
 	sim := simulator(t, 9)
-	sweep, err := sim.SingleFailureSweep()
+	sweep, err := sim.Sweep(SweepOptions{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sweep.Links != 9 {
-		t.Errorf("Links = %d", sweep.Links)
+	if sweep.Scenarios != 9 || sweep.Evaluated != 9 {
+		t.Errorf("scenario counts = %d/%d, want 9/9", sweep.Scenarios, sweep.Evaluated)
 	}
 	if sweep.MaxSpareLen >= 9 || sweep.MaxSpareLen < 1 {
 		t.Errorf("MaxSpareLen = %d out of range", sweep.MaxSpareLen)
@@ -150,8 +172,12 @@ func TestSweepMetrics(t *testing.T) {
 	if sweep.SumWorkingLen+sweep.SumSpareLen != 9*sweep.TotalAffected {
 		t.Error("per-reroute working+spare must sum to n")
 	}
-	if sweep.WorstAffected < 1 {
-		t.Error("worst link must affect someone")
+	if sweep.MostAffected.Affected < 1 || len(sweep.MostAffected.Links) != 1 {
+		t.Errorf("worst link must affect someone: %+v", sweep.MostAffected)
+	}
+	if sweep.MeanRestoration != 1 || sweep.WorstRestoration != 1 {
+		t.Errorf("single failures fully restored: mean %f worst %f",
+			sweep.MeanRestoration, sweep.WorstRestoration)
 	}
 }
 
@@ -167,7 +193,7 @@ func TestPartialDemandSurvivability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sweep, err := NewSimulator(nw).SingleFailureSweep()
+	sweep, err := NewSimulator(nw).Sweep(SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,72 @@
+package survive
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/wdm"
+)
+
+// benchSimulator plans the all-to-all network once per size.
+func benchSimulator(b *testing.B, n int) *Simulator {
+	b.Helper()
+	res, err := construct.AllToAll(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wdm.Plan(res.Covering, graph.Complete(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewSimulator(nw)
+}
+
+// BenchmarkSweep measures the k-failure sweep engine, serial vs fanned
+// out, on the workloads EXPERIMENTS.md §F reports: exhaustive k = 1 and
+// k = 2, and a 512-scenario sampled k = 3, all over the K_33 plan (55
+// subnetworks, 528 demands).
+func BenchmarkSweep(b *testing.B) {
+	sim := benchSimulator(b, 33)
+	for _, bc := range []struct {
+		name string
+		opts SweepOptions
+	}{
+		{"k1-serial", SweepOptions{K: 1, Workers: 1}},
+		{"k1-parallel", SweepOptions{K: 1}},
+		{"k2-serial", SweepOptions{K: 2, Workers: 1}},
+		{"k2-parallel", SweepOptions{K: 2}},
+		{"k3-sampled512-serial", SweepOptions{K: 3, Sample: 512, Seed: 1, Workers: 1}},
+		{"k3-sampled512-parallel", SweepOptions{K: 3, Sample: 512, Seed: 1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Sweep(bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Evaluated == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepScaling sweeps k = 2 exhaustively across ring sizes —
+// the scenario count grows quadratically, the per-scenario cost with the
+// demand count.
+func BenchmarkSweepScaling(b *testing.B) {
+	for _, n := range []int{9, 17, 33} {
+		sim := benchSimulator(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Sweep(SweepOptions{K: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

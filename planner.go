@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/cyclecover/cyclecover/internal/cache"
+	"github.com/cyclecover/cyclecover/internal/survive"
 )
 
 // Planner is the cached planning facade: the same memoized path the
@@ -181,6 +182,44 @@ func (p *Planner) PlanManyCtx(ctx context.Context, ins []Instance, workers int) 
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// Simulation is a survivability analysis of a planned instance: the
+// cached WDM design the sweep ran against plus the aggregated k-failure
+// sweep report. Network is shared with the cache and must be treated as
+// read-only.
+type Simulation struct {
+	// Network is the plan that was swept (read-only, cache-shared).
+	Network *Network
+	// Sweep is the aggregated failure-sweep report.
+	Sweep SweepResult
+}
+
+// Simulate plans the instance through the covering cache and sweeps the
+// resulting network with k-failure scenarios: plan once, sweep many.
+// Repeated simulations of one instance signature — any k, sample size or
+// seed — reuse the cached plan, so only the first call pays for
+// construction. See SweepOptions for the sweep contract (exhaustive
+// k ≤ 2, deterministic seeded sampling for k ≥ 3, parallel evaluation
+// with a worker-count-independent report).
+func (p *Planner) Simulate(in Instance, opts SweepOptions) (*Simulation, error) {
+	return p.SimulateCtx(context.Background(), in, opts)
+}
+
+// SimulateCtx is Simulate under a context. Cancellation or a deadline
+// aborts the planning stage exactly like PlanWDMCtx, and the sweep stage
+// within one scenario evaluation; an interrupted call returns the
+// context's error, never a partial report.
+func (p *Planner) SimulateCtx(ctx context.Context, in Instance, opts SweepOptions) (*Simulation, error) {
+	nw, _, err := p.plans.NetworkCtx(ctx, in, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := survive.NewSimulator(nw).SweepCtx(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{Network: nw, Sweep: sweep}, nil
 }
 
 // planOne computes one PlanMany slot: cached covering plus cached WDM
