@@ -334,6 +334,50 @@ func BenchmarkExactCertification(b *testing.B) {
 	}
 }
 
+// BenchmarkExact is the pinned exact-search hot-path benchmark (see
+// BENCH_5.json): the full branch-and-bound certification of K_12 at
+// ρ(12), serial, fixed node limit. Its inner branch is the hottest loop
+// in the solver; the dense-core refactor is measured against it.
+func BenchmarkExact(b *testing.B) {
+	const n = 12
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := construct.Exact(n, construct.ExactOptions{
+			Budget: cover.Rho(n), MaxLen: 4, NodeLimit: 8_000_000, Parallelism: 1,
+		})
+		if out.Covering == nil {
+			b.Fatal("no covering at ρ(12)")
+		}
+	}
+}
+
+// BenchmarkSweep is the pinned sweep hot-path benchmark (see
+// BENCH_5.json): exhaustive k = 1 and k = 2 failure sweeps of the K_12
+// plan, serial, measuring the per-sweep fixed costs plus the scenario
+// evaluate loop.
+func BenchmarkSweep(b *testing.B) {
+	res, err := construct.AllToAll(12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := wdm.Plan(res.Covering, graph.Complete(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := survive.NewSimulator(nw)
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sweep, err := sim.Sweep(survive.SweepOptions{K: k, Workers: 1})
+				if err != nil || sweep.Evaluated == 0 {
+					b.Fatal("sweep failed")
+				}
+			}
+		})
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -23,7 +23,10 @@
 //     every construction path (closed-form, exact, repair, greedy) is
 //     independently selectable by name, and "portfolio" races them
 //     under one context with deterministic winner selection;
-//   - Verify — independent validity checking of any covering;
+//   - Verify — independent validity checking of any covering, running
+//     on the flat dense graph core (DESIGN.md §7): link loads and
+//     coverage are tallied over pooled scratch in one pass, so repeated
+//     verification is allocation-free in steady state;
 //   - PlanWDM, NewSimulator — the optical layer and failure simulation,
 //     including the parallel k-failure sweep engine (SweepOptions /
 //     SweepResult): exhaustive single- and double-failure sweeps,

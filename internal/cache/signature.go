@@ -70,8 +70,11 @@ func withOptions(sig string, opts Options) string {
 	return sig
 }
 
-// demandHash is an FNV-1a fingerprint of the sorted edge multiset. Edges()
-// is deterministic, so equal multigraphs hash equally.
+// demandHash is an FNV-1a fingerprint of the sorted edge multiset.
+// ForEachEdge iterates in ascending lexicographic order — the same order
+// Edges() has always produced — so the byte stream, and therefore every
+// signature, canonicalises identically to the map-era implementation
+// while walking the dense pair array without materialising an edge list.
 func demandHash(g *graph.Graph) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -83,10 +86,11 @@ func demandHash(g *graph.Graph) uint64 {
 		h.Write(buf[:])
 	}
 	write(g.N())
-	for _, e := range g.Edges() {
-		write(e.U)
-		write(e.V)
-		write(g.Multiplicity(e.U, e.V))
-	}
+	g.ForEachEdge(func(u, v, mult int) bool {
+		write(u)
+		write(v)
+		write(mult)
+		return true
+	})
 	return h.Sum64()
 }

@@ -42,7 +42,26 @@ type ExactOptions struct {
 	// Complete=false — the cut is relative to a competitor's result, not
 	// an exhaustion proof.
 	Bound *atomic.Int64
+	// Scratch, when non-nil, supplies reusable search state — the
+	// residual coverage matrix, the per-depth candidate arenas and the
+	// precomputed distance tables — so a warm repeated search allocates
+	// nothing beyond its solution. A Scratch is owned by one search at a
+	// time: it is not safe for concurrent use, and a parallel search uses
+	// it only for the root enumeration (each worker keeps its own). The
+	// search result is bit-identical with or without a Scratch.
+	Scratch *ExactScratch
 }
+
+// ExactScratch is caller-owned reusable state for Exact/ExactCtx. The
+// zero value is ready to use; see ExactOptions.Scratch for the ownership
+// contract.
+type ExactScratch struct {
+	st exactState
+}
+
+// NewExactScratch returns an empty scratch, ready to thread through
+// ExactOptions.Scratch.
+func NewExactScratch() *ExactScratch { return &ExactScratch{} }
 
 // DefaultNodeLimit bounds exact searches that did not specify a limit.
 const DefaultNodeLimit = 40_000_000
@@ -74,6 +93,12 @@ type ExactOutcome struct {
 //     applied to the residual instance) or when cyclesLeft is below the
 //     number of uncovered diameters.
 //
+// The search state is flat and allocation-free in steady state: residual
+// coverage lives in a dense pair matrix that is covered and uncovered
+// incrementally on descent and backtrack (never cloned), and candidate
+// enumeration writes into per-depth arenas that are reused across the
+// whole search (and across searches, via ExactOptions.Scratch).
+//
 // With Parallelism ≠ 1 the first branch level fans out over a bounded
 // worker pool: each root candidate's subtree runs the same serial DFS on
 // its own state, a shared atomic counter enforces the node budget, and
@@ -98,12 +123,21 @@ func ExactCtx(ctx context.Context, n int, opts ExactOptions) ExactOutcome {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		s := newExactState(r, n, opts)
+		s := stateFor(opts)
+		s.reset(r, n, opts)
 		s.done = ctx.Done()
 		complete := s.search(0)
 		return s.outcome(complete, s.nodes)
 	}
 	return exactParallel(ctx, r, n, opts, workers)
+}
+
+// stateFor returns the search state backing opts.Scratch, or a fresh one.
+func stateFor(opts ExactOptions) *exactState {
+	if opts.Scratch != nil {
+		return &opts.Scratch.st
+	}
+	return &exactState{}
 }
 
 // ExactOptimal runs Exact at Budget = ρ(n) with the paper's cycle lengths
@@ -115,17 +149,62 @@ func ExactOptimal(n int, nodeLimit int64) (*cover.Covering, bool) {
 	return out.Covering, out.Covering != nil
 }
 
+// candidate is one branch choice: a cycle vertex set stored in the
+// owning depth's arena at [off, off+k) (its covered pair indices at the
+// same offsets of the pair arena), plus its branching score.
+type candidate struct {
+	off, k int
+	gain   int // uncovered pairs this candidate would cover
+	dist   int // total short-arc distance of newly covered pairs
+}
+
+// depthScratch is the per-depth enumeration arena: candidate metadata,
+// the flat vertex/pair storage they reference, the undo log of the
+// candidate currently applied at this depth, and the enumeration
+// scratch. Reused across every visit to the depth.
+type depthScratch struct {
+	cands        []candidate
+	verts        []int // candidate vertex sets, ring order, back to back
+	pairs        []int // covered pair indices, same offsets as verts
+	newly        []int // pair indices newly covered by the applied candidate
+	side0, side1 []int // arc interiors of the branch pair
+	cur          []int // subset enumeration scratch: chosen vertices
+	curIdx       []int // subset enumeration scratch: chosen side indices
+}
+
+// sort.Interface over cands: most-constraining first — more uncovered
+// pairs, then more distance, then lexicographic vertex order (a total
+// order: candidate vertex sets at one node are distinct), so the
+// enumeration order is deterministic regardless of sort stability.
+func (ds *depthScratch) Len() int      { return len(ds.cands) }
+func (ds *depthScratch) Swap(i, j int) { ds.cands[i], ds.cands[j] = ds.cands[j], ds.cands[i] }
+func (ds *depthScratch) Less(i, j int) bool {
+	a, b := ds.cands[i], ds.cands[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.dist != b.dist {
+		return a.dist > b.dist
+	}
+	return lexLess(ds.verts[a.off:a.off+a.k], ds.verts[b.off:b.off+b.k])
+}
+
 type exactState struct {
 	r    ring.Ring
 	n    int
 	opts ExactOptions
 
-	covered        []bool // pair u*n+v (u<v) → covered
+	covered []bool  // pair u*n+v (u<v) → covered
+	dist    []int32 // short-arc distance per pair index (precomputed)
+	diam    []bool  // diameter flag per pair index (precomputed)
+	tablesN int     // ring size the dist/diam tables were built for
+
 	uncovered      int
 	remainingDist  int
 	uncoveredDiams int
 
-	chosen   [][]int
+	chosen   []candidate // chosen[d] applied at depth d, refs depths[d]
+	depths   []depthScratch
 	solution [][]int
 	nodes    int64
 
@@ -145,24 +224,66 @@ type exactState struct {
 	cancelled bool          // aborted because a lower index solved first
 }
 
-// newExactState initializes the fully-uncovered search state for K_n.
-func newExactState(r ring.Ring, n int, opts ExactOptions) *exactState {
-	s := &exactState{
-		r:       r,
-		n:       n,
-		opts:    opts,
-		covered: make([]bool, n*n),
+// reset initializes the fully-uncovered search state for K_n, reusing
+// every backing array that is already large enough. After the first
+// search at a given n, a reset allocates nothing.
+func (s *exactState) reset(r ring.Ring, n int, opts ExactOptions) {
+	s.r, s.n, s.opts = r, n, opts
+	nn := n * n
+	if cap(s.covered) < nn {
+		s.covered = make([]bool, nn)
+	} else {
+		s.covered = s.covered[:nn]
+		clear(s.covered)
 	}
+	if s.tablesN != n {
+		if cap(s.dist) < nn {
+			s.dist = make([]int32, nn)
+			s.diam = make([]bool, nn)
+		} else {
+			s.dist = s.dist[:nn]
+			s.diam = s.diam[:nn]
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				s.dist[u*n+v] = int32(r.Dist(u, v))
+				s.diam[u*n+v] = r.IsDiameter(u, v)
+			}
+		}
+		s.tablesN = n
+	}
+	s.uncovered, s.remainingDist, s.uncoveredDiams = 0, 0, 0
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			s.remainingDist += r.Dist(u, v)
+			s.remainingDist += int(s.dist[u*n+v])
 			s.uncovered++
-			if r.IsDiameter(u, v) {
+			if s.diam[u*n+v] {
 				s.uncoveredDiams++
 			}
 		}
 	}
-	return s
+	// Pre-grow the per-depth arena list: enumeration happens only at
+	// depths below Budget, so no dsAt call can reallocate s.depths while
+	// a search holds a *depthScratch into it.
+	for len(s.depths) < opts.Budget {
+		s.depths = append(s.depths, depthScratch{})
+	}
+	s.chosen = s.chosen[:0]
+	s.solution = nil
+	s.nodes = 0
+	s.done = nil
+	s.boundCut = false
+	s.shared, s.bestIdx, s.myIdx = nil, nil, 0
+	s.cancelled = false
+}
+
+// dsAt returns the arena for a depth, growing the arena list on demand
+// (existing arenas keep their storage).
+func (s *exactState) dsAt(depth int) *depthScratch {
+	for len(s.depths) <= depth {
+		s.depths = append(s.depths, depthScratch{})
+	}
+	return &s.depths[depth]
 }
 
 // outcome packages the state's solution (if any) as an ExactOutcome.
@@ -250,8 +371,9 @@ func (s *exactState) countNode() bool {
 func (s *exactState) search(depth int) bool {
 	if s.uncovered == 0 {
 		sol := make([][]int, len(s.chosen))
-		for i, c := range s.chosen {
-			sol[i] = append([]int(nil), c...)
+		for d, c := range s.chosen {
+			ds := &s.depths[d]
+			sol[d] = append([]int(nil), ds.verts[c.off:c.off+c.k]...)
 		}
 		s.solution = sol
 		return true
@@ -267,16 +389,18 @@ func (s *exactState) search(depth int) bool {
 	}
 
 	u, v := s.pickBranchPair()
-	cands := s.candidates(u, v)
-	for _, cand := range cands {
+	s.enumerate(depth, u, v)
+	ds := &s.depths[depth]
+	for ci := 0; ci < len(ds.cands); ci++ {
 		if !s.countNode() {
 			return false
 		}
-		newly := s.apply(cand)
-		s.chosen = append(s.chosen, cand.verts)
+		c := ds.cands[ci]
+		s.apply(depth, c)
+		s.chosen = append(s.chosen, c)
 		done := s.search(depth + 1)
 		s.chosen = s.chosen[:len(s.chosen)-1]
-		s.undo(newly)
+		s.undo(depth)
 		if s.solution != nil {
 			return true
 		}
@@ -300,9 +424,11 @@ type subOutcome struct {
 // pool. Aggregation mirrors the serial candidate loop: the surviving
 // solution is the one from the lowest root index, and completeness holds
 // only if every subtree that the serial search would have visited ran to
-// completion.
+// completion. Each worker owns one reusable search state across all the
+// subtrees it drains, so steady-state work allocates nothing per branch.
 func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, workers int) ExactOutcome {
-	root := newExactState(r, n, opts)
+	root := stateFor(opts)
+	root.reset(r, n, opts)
 	if root.uncovered == 0 {
 		root.solution = [][]int{}
 		return root.outcome(true, 0)
@@ -311,7 +437,12 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 		return ExactOutcome{Complete: !root.boundCut}
 	}
 	u, v := root.pickBranchPair()
-	cands := root.candidates(u, v)
+	root.enumerate(0, u, v)
+	rootDS := &root.depths[0]
+	cands := make([][]int, len(rootDS.cands))
+	for i, c := range rootDS.cands {
+		cands[i] = append([]int(nil), rootDS.verts[c.off:c.off+c.k]...)
+	}
 	if len(cands) == 0 {
 		return ExactOutcome{Complete: true}
 	}
@@ -332,6 +463,7 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			st := &exactState{} // reused across this worker's subtrees
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(len(cands)) {
@@ -341,7 +473,7 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 					results[i] = subOutcome{skipped: true}
 					continue
 				}
-				st := newExactState(r, n, opts)
+				st.reset(r, n, opts)
 				st.done = ctx.Done()
 				st.shared = &shared
 				st.bestIdx = &bestIdx
@@ -350,10 +482,9 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 					results[i] = subOutcome{nodes: st.nodes}
 					continue
 				}
-				newly := st.apply(cands[i])
-				st.chosen = append(st.chosen, cands[i].verts)
+				st.applyRoot(cands[i])
 				done := st.search(1)
-				st.undo(newly)
+				st.undo(0)
 				results[i] = subOutcome{
 					solution:  st.solution,
 					complete:  done && !st.boundCut,
@@ -395,17 +526,38 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 	return ExactOutcome{Complete: complete, Nodes: nodes}
 }
 
+// applyRoot installs a materialized root candidate (from the shared root
+// enumeration) as this state's depth-0 choice: the vertex set is copied
+// into the depth-0 arena so solution materialization and undo see it like
+// any locally enumerated candidate.
+func (s *exactState) applyRoot(verts []int) {
+	ds := s.dsAt(0)
+	ds.cands = ds.cands[:0]
+	ds.verts = append(ds.verts[:0], verts...)
+	ds.pairs = ds.pairs[:0]
+	k := len(verts)
+	for i := 0; i < k; i++ {
+		ds.pairs = append(ds.pairs, s.pairIdx(verts[i], verts[(i+1)%k]))
+	}
+	c := candidate{off: 0, k: k}
+	ds.cands = append(ds.cands, c)
+	s.apply(0, c)
+	s.chosen = append(s.chosen, c)
+}
+
 // pickBranchPair selects the uncovered pair with maximum short-arc
 // distance (ties: lexicographic), concentrating the search on diameters
 // and long chords first.
 func (s *exactState) pickBranchPair() (int, int) {
-	bestU, bestV, bestD := -1, -1, -1
+	bestU, bestV := -1, -1
+	bestD := int32(-1)
 	for u := 0; u < s.n; u++ {
+		row := u * s.n
 		for v := u + 1; v < s.n; v++ {
-			if s.covered[u*s.n+v] {
+			if s.covered[row+v] {
 				continue
 			}
-			if d := s.r.Dist(u, v); d > bestD {
+			if d := s.dist[row+v]; d > bestD {
 				bestU, bestV, bestD = u, v, d
 			}
 		}
@@ -420,125 +572,116 @@ func (s *exactState) pairIdx(u, v int) int {
 	return u*s.n + v
 }
 
-type candidate struct {
-	verts []int // sorted ring order
-	pairs []int // pair indices covered
-	gain  int   // uncovered pairs this candidate would cover
-	dist  int   // total short-arc distance of newly covered pairs
+// enumerate fills depth's arena with the candidate cycles in which u and
+// v are cyclically consecutive ({u,v} plus a non-empty subset of one arc
+// interior), sorted most-constraining first. Allocation-free once the
+// arenas have grown.
+func (s *exactState) enumerate(depth, u, v int) {
+	ds := s.dsAt(depth)
+	ds.cands = ds.cands[:0]
+	ds.verts = ds.verts[:0]
+	ds.pairs = ds.pairs[:0]
+	ds.side0 = s.interior(u, v, ds.side0[:0])
+	ds.side1 = s.interior(v, u, ds.side1[:0])
+	s.subsetsFrom(ds, u, v, ds.side0)
+	s.subsetsFrom(ds, u, v, ds.side1)
+	sort.Sort(ds)
 }
 
-// candidates enumerates the cycles in which u and v are cyclically
-// consecutive, as {u,v} plus a non-empty subset of one arc interior.
-func (s *exactState) candidates(u, v int) []candidate {
-	var out []candidate
-	sides := [2][]int{s.interior(u, v), s.interior(v, u)}
-	for _, side := range sides {
-		out = append(out, s.subsetsFrom(u, v, side)...)
-	}
-	// Most-constraining first: cover more uncovered pairs, then more
-	// distance, then lexicographic for determinism.
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.gain != b.gain {
-			return a.gain > b.gain
-		}
-		if a.dist != b.dist {
-			return a.dist > b.dist
-		}
-		return lexLess(a.verts, b.verts)
-	})
-	return out
-}
-
-// interior lists the vertices strictly inside the clockwise arc a→b.
-func (s *exactState) interior(a, b int) []int {
+// interior appends the vertices strictly inside the clockwise arc a→b to
+// buf and returns it.
+func (s *exactState) interior(a, b int, buf []int) []int {
 	g := s.r.Gap(a, b)
-	vs := make([]int, 0, g-1)
 	for i := 1; i < g; i++ {
-		vs = append(vs, s.r.Norm(a+i))
+		buf = append(buf, s.r.Norm(a+i))
 	}
-	return vs
+	return buf
 }
 
-// subsetsFrom builds candidates {u, v} ∪ T for non-empty subsets T of
-// side, respecting MaxLen.
-func (s *exactState) subsetsFrom(u, v int, side []int) []candidate {
+// subsetsFrom enumerates candidates {u, v} ∪ T for non-empty subsets T of
+// side, respecting MaxLen, into ds. The enumeration is an explicit-stack
+// DFS in prefix preorder — each prefix is emitted when its last vertex is
+// chosen, then extended by every higher side index — which is exactly the
+// recursive order, without a per-node closure allocation.
+func (s *exactState) subsetsFrom(ds *depthScratch, u, v int, side []int) {
 	maxT := len(side)
 	if s.opts.MaxLen > 0 && s.opts.MaxLen-2 < maxT {
 		maxT = s.opts.MaxLen - 2
 	}
 	if maxT <= 0 {
-		return nil
+		return
 	}
-	var out []candidate
-	cur := make([]int, 0, maxT)
-	var rec func(start int)
-	rec = func(start int) {
-		if len(cur) > 0 {
-			out = append(out, s.makeCandidate(u, v, cur))
+	ds.cur = ds.cur[:0]
+	ds.curIdx = ds.curIdx[:0]
+	i := 0
+	for {
+		if i < len(side) && len(ds.cur) < maxT {
+			ds.curIdx = append(ds.curIdx, i)
+			ds.cur = append(ds.cur, side[i])
+			s.pushCandidate(ds, u, v)
+			i++
+			continue
 		}
-		if len(cur) == maxT {
+		if len(ds.curIdx) == 0 {
 			return
 		}
-		for i := start; i < len(side); i++ {
-			cur = append(cur, side[i])
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
-		}
+		i = ds.curIdx[len(ds.curIdx)-1] + 1
+		ds.curIdx = ds.curIdx[:len(ds.curIdx)-1]
+		ds.cur = ds.cur[:len(ds.cur)-1]
 	}
-	rec(0)
-	return out
 }
 
-func (s *exactState) makeCandidate(u, v int, extra []int) candidate {
-	verts := make([]int, 0, len(extra)+2)
-	verts = append(verts, u, v)
-	verts = append(verts, extra...)
+// pushCandidate appends the cycle {u, v} ∪ ds.cur to the arena, scoring
+// its gain and distance against the current residual state.
+func (s *exactState) pushCandidate(ds *depthScratch, u, v int) {
+	off := len(ds.verts)
+	ds.verts = append(ds.verts, u, v)
+	ds.verts = append(ds.verts, ds.cur...)
+	verts := ds.verts[off:]
 	ring.SortByRingOrder(verts)
-	c := candidate{verts: verts}
-	k := len(verts)
-	for i := 0; i < k; i++ {
-		a, b := verts[i], verts[(i+1)%k]
-		idx := s.pairIdx(a, b)
-		c.pairs = append(c.pairs, idx)
+	c := candidate{off: off, k: len(verts)}
+	for i := 0; i < c.k; i++ {
+		idx := s.pairIdx(verts[i], verts[(i+1)%c.k])
+		ds.pairs = append(ds.pairs, idx)
 		if !s.covered[idx] {
 			c.gain++
-			c.dist += s.r.Dist(a, b)
+			c.dist += int(s.dist[idx])
 		}
 	}
-	return c
+	ds.cands = append(ds.cands, c)
 }
 
-// apply marks the candidate's pairs covered, returning the indices newly
-// covered for undo.
-func (s *exactState) apply(c candidate) []int {
-	var newly []int
-	for _, idx := range c.pairs {
+// apply marks the candidate's pairs covered, recording the newly covered
+// indices in the depth's undo log.
+func (s *exactState) apply(depth int, c candidate) {
+	ds := &s.depths[depth]
+	ds.newly = ds.newly[:0]
+	for _, idx := range ds.pairs[c.off : c.off+c.k] {
 		if s.covered[idx] {
 			continue
 		}
 		s.covered[idx] = true
-		newly = append(newly, idx)
+		ds.newly = append(ds.newly, idx)
 		s.uncovered--
-		u, v := idx/s.n, idx%s.n
-		s.remainingDist -= s.r.Dist(u, v)
-		if s.r.IsDiameter(u, v) {
+		s.remainingDist -= int(s.dist[idx])
+		if s.diam[idx] {
 			s.uncoveredDiams--
 		}
 	}
-	return newly
 }
 
-func (s *exactState) undo(newly []int) {
-	for _, idx := range newly {
+// undo reverts the apply recorded at depth.
+func (s *exactState) undo(depth int) {
+	ds := &s.depths[depth]
+	for _, idx := range ds.newly {
 		s.covered[idx] = false
 		s.uncovered++
-		u, v := idx/s.n, idx%s.n
-		s.remainingDist += s.r.Dist(u, v)
-		if s.r.IsDiameter(u, v) {
+		s.remainingDist += int(s.dist[idx])
+		if s.diam[idx] {
 			s.uncoveredDiams++
 		}
 	}
+	ds.newly = ds.newly[:0]
 }
 
 func lexLess(a, b []int) bool {

@@ -1,0 +1,68 @@
+package construct
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+)
+
+// TestExactInnerBranchZeroAllocs pins the flat-core contract of the
+// branch-and-bound solver: with a warm ExactScratch, a complete search —
+// every branch application, candidate enumeration, sort, apply and
+// backtrack — allocates nothing. The search below certifies infeasibility
+// of K_8 at ρ(8)−1 (so no solution is materialised: the measured work is
+// purely the inner branching machinery that used to clone maps and
+// allocate candidate slices per node).
+func TestExactInnerBranchZeroAllocs(t *testing.T) {
+	const n = 8
+	opts := ExactOptions{
+		Budget:      cover.Rho(n) - 1,
+		MaxLen:      4,
+		NodeLimit:   4_000_000,
+		Parallelism: 1,
+		Scratch:     NewExactScratch(),
+	}
+	warm := Exact(n, opts)
+	if warm.Covering != nil || !warm.Complete {
+		t.Fatalf("ρ(8)−1 must be a completed infeasibility proof, got %+v", warm)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		out := Exact(n, opts)
+		if out.Covering != nil || !out.Complete {
+			t.Error("search result changed between runs")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm exact search allocated %.2f/op across %d nodes, want 0", avg, warm.Nodes)
+	}
+}
+
+// TestExactScratchMatchesFresh pins that threading a scratch through
+// ExactOptions changes nothing observable: same covering, same node
+// count, same completeness — on both a feasible and an infeasible budget.
+func TestExactScratchMatchesFresh(t *testing.T) {
+	sc := NewExactScratch()
+	for _, n := range []int{6, 8, 10} {
+		for _, budget := range []int{cover.Rho(n) - 1, cover.Rho(n)} {
+			fresh := Exact(n, ExactOptions{Budget: budget, MaxLen: 4, NodeLimit: 2_000_000, Parallelism: 1})
+			reused := Exact(n, ExactOptions{Budget: budget, MaxLen: 4, NodeLimit: 2_000_000, Parallelism: 1, Scratch: sc})
+			if fresh.Complete != reused.Complete || fresh.Nodes != reused.Nodes {
+				t.Fatalf("n=%d budget=%d: scratch changed search shape: fresh %+v, reused %+v", n, budget, fresh, reused)
+			}
+			if (fresh.Covering == nil) != (reused.Covering == nil) {
+				t.Fatalf("n=%d budget=%d: scratch changed feasibility", n, budget)
+			}
+			if fresh.Covering != nil {
+				a, b := fresh.Covering, reused.Covering
+				if a.Size() != b.Size() {
+					t.Fatalf("n=%d: covering sizes differ: %d vs %d", n, a.Size(), b.Size())
+				}
+				for i := range a.Cycles {
+					if !a.Cycles[i].Equal(b.Cycles[i]) {
+						t.Fatalf("n=%d: cycle %d differs: %v vs %v", n, i, a.Cycles[i], b.Cycles[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -6,7 +6,20 @@ import (
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/scratch"
 )
+
+// greedyScratch is the per-call working state of the greedy constructor:
+// the residual demand graph (unserved multiplicity per pair) and the
+// cycle-growing buffers. Pooled so repeated constructions reuse their
+// allocations.
+type greedyScratch struct {
+	residual graph.Graph
+	verts    []int // the cycle being grown
+	probe    []int // candidate cycle buffer for coverage scoring
+}
+
+var greedyScratches = scratch.NewPool(func() *greedyScratch { return &greedyScratch{} })
 
 // Greedy constructs a valid DRC-covering of an arbitrary logical
 // multigraph over r, as a baseline and as the constructor for demand
@@ -27,77 +40,92 @@ func Greedy(r ring.Ring, demand *graph.Graph) *cover.Covering {
 // GreedyCtx is Greedy under a context: cancellation is polled once per
 // constructed cycle, so the builder stops within one cycle-growing step
 // of ctx firing and returns ctx's error (never a partial covering).
+//
+// The unserved multiplicities live in a dense residual graph copied from
+// the demand into pooled scratch — no per-pair map traffic — and every
+// pick iterates it in deterministic ascending order.
 func GreedyCtx(ctx context.Context, r ring.Ring, demand *graph.Graph) (*cover.Covering, error) {
+	gs := greedyScratches.Get()
+	defer greedyScratches.Put(gs)
+	// The residual spans the ring even when the demand graph is smaller
+	// (a sub-all-to-all demand on fewer vertices is an anticipated
+	// input): cycle growing probes pairs across the whole ring, and the
+	// bookkeeping must answer "not demanded" rather than range-panic.
+	res := &gs.residual
+	n := r.N()
+	if demand.N() > n {
+		n = demand.N()
+	}
+	res.Reset(n)
+	demand.ForEachEdge(func(u, v, mult int) bool {
+		res.AddEdgeMulti(u, v, mult)
+		return true
+	})
+
 	cv := cover.NewCovering(r)
-	// need[pair] = multiplicity still unserved.
-	need := make(map[graph.Edge]int)
-	for _, e := range demand.Edges() {
-		need[e] = demand.Multiplicity(e.U, e.V)
-	}
-
-	serve := func(c cover.Cycle) {
-		for _, pr := range c.Pairs() {
-			if need[pr] > 0 {
-				need[pr]--
-				if need[pr] == 0 {
-					delete(need, pr)
-				}
-			}
-		}
-		cv.Add(c)
-	}
-
 	done := ctx.Done()
-	for len(need) > 0 {
+	for res.M() > 0 {
 		select {
 		case <-done:
 			return nil, ctx.Err()
 		default:
 		}
-		target := pickFarthest(r, need)
-		c := growCycle(r, target, need)
-		serve(c)
+		tu, tv := pickFarthest(r, res)
+		c := gs.growCycle(r, tu, tv)
+		// Serve: each covered pair loses at most one unit of unserved
+		// multiplicity per cycle (a cycle provides one slot per pair).
+		verts := c.Vertices()
+		k := len(verts)
+		for i := 0; i < k; i++ {
+			u, v := verts[i], verts[(i+1)%k]
+			if res.HasEdge(u, v) {
+				res.RemoveEdge(u, v)
+			}
+		}
+		cv.Add(c)
 	}
 	EliminateRedundant(cv, demand)
 	return cv, nil
 }
 
-// pickFarthest returns the unserved pair with maximum short-arc distance,
-// ties broken lexicographically for determinism.
-func pickFarthest(r ring.Ring, need map[graph.Edge]int) graph.Edge {
-	var best graph.Edge
-	bestD := -1
-	for e := range need {
-		d := r.Dist(e.U, e.V)
-		if d > bestD || (d == bestD && (e.U < best.U || (e.U == best.U && e.V < best.V))) {
-			best, bestD = e, d
+// pickFarthest returns the unserved pair with maximum short-arc distance.
+// The residual graph iterates in ascending lexicographic order and the
+// comparison is strict, so ties resolve to the lexicographically smallest
+// pair — deterministically, with no map-order dependence.
+func pickFarthest(r ring.Ring, residual *graph.Graph) (int, int) {
+	bestU, bestV, bestD := -1, -1, -1
+	residual.ForEachEdge(func(u, v, _ int) bool {
+		if d := r.Dist(u, v); d > bestD {
+			bestU, bestV, bestD = u, v, d
 		}
-	}
-	return best
+		return true
+	})
+	return bestU, bestV
 }
 
-// growCycle builds a cycle covering target, greedily adding up to two more
-// vertices that maximise coverage of unserved requests.
-func growCycle(r ring.Ring, target graph.Edge, need map[graph.Edge]int) cover.Cycle {
-	verts := []int{target.U, target.V}
-	// target must stay cyclically consecutive: each added vertex must keep
-	// at least one arc between U and V empty. Track which side we are
-	// filling: the first added vertex fixes the side.
-	side := -1 // -1 undecided; 0 = interior(U→V); 1 = interior(V→U)
+// growCycle builds a cycle covering the target pair {tu, tv}, greedily
+// adding up to two more vertices that maximise coverage of unserved
+// requests.
+func (gs *greedyScratch) growCycle(r ring.Ring, tu, tv int) cover.Cycle {
+	gs.verts = append(gs.verts[:0], tu, tv)
+	// The target must stay cyclically consecutive: each added vertex must
+	// keep at least one arc between tu and tv empty. Track which side we
+	// are filling: the first added vertex fixes the side.
+	side := -1 // -1 undecided; 0 = interior(tu→tv); 1 = interior(tv→tu)
 	for added := 0; added < 2; added++ {
 		bestV, bestGain, bestSide := -1, 0, side
 		for v := 0; v < r.N(); v++ {
-			if v == target.U || v == target.V || contains(verts, v) {
+			if v == tu || v == tv || contains(gs.verts, v) {
 				continue
 			}
 			vSide := 1
-			if r.ArcBetween(target.U, target.V).ContainsVertex(r, v) {
+			if r.ArcBetween(tu, tv).ContainsVertex(r, v) {
 				vSide = 0
 			}
 			if side != -1 && vSide != side {
 				continue
 			}
-			gain := coverageGain(r, verts, v, need)
+			gain := gs.coverageGain(r, v)
 			if gain > bestGain || (gain == bestGain && gain > 0 && v < bestV) {
 				bestV, bestGain, bestSide = v, gain, vSide
 			}
@@ -105,49 +133,58 @@ func growCycle(r ring.Ring, target graph.Edge, need map[graph.Edge]int) cover.Cy
 		if bestV == -1 || bestGain == 0 {
 			break
 		}
-		verts = append(verts, bestV)
+		gs.verts = append(gs.verts, bestV)
 		side = bestSide
 	}
-	if len(verts) == 2 {
+	if len(gs.verts) == 2 {
 		// No helpful third vertex: pick the lowest vertex that keeps the
 		// target pair consecutive (any vertex works — it lands in one of
 		// the two arcs and leaves the other empty).
 		for v := 0; v < r.N(); v++ {
-			if v != target.U && v != target.V {
-				verts = append(verts, v)
+			if v != tu && v != tv {
+				gs.verts = append(gs.verts, v)
 				break
 			}
 		}
 	}
-	return cover.MustCycle(r, verts...)
+	return cover.MustCycle(r, gs.verts...)
 }
 
 // coverageGain counts how many unserved requests the cycle verts ∪ {v}
-// covers beyond those covered by verts alone.
-func coverageGain(r ring.Ring, verts []int, v int, need map[graph.Edge]int) int {
-	withV := append(append([]int(nil), verts...), v)
-	if len(withV) < 3 {
+// covers beyond those covered by verts alone, scoring candidate cycles in
+// a reusable buffer instead of materializing Cycle values.
+func (gs *greedyScratch) coverageGain(r ring.Ring, v int) int {
+	if len(gs.verts) < 2 {
+		return 0
+	}
+	before := 0
+	if len(gs.verts) >= 3 {
+		gs.probe = append(gs.probe[:0], gs.verts...)
+		ring.SortByRingOrder(gs.probe)
+		before = gs.unservedPairs(r, gs.probe)
+	}
+	gs.probe = append(gs.probe[:0], gs.verts...)
+	gs.probe = append(gs.probe, v)
+	if len(gs.probe) < 3 {
 		// A 2-set has no pairs; count the would-be triangle's coverage
 		// directly once it reaches size 3.
 		return 0
 	}
-	before := 0
-	if len(verts) >= 3 {
-		cOld := cover.MustCycle(r, verts...)
-		for _, pr := range cOld.Pairs() {
-			if need[pr] > 0 {
-				before++
-			}
+	ring.SortByRingOrder(gs.probe)
+	return gs.unservedPairs(r, gs.probe) - before
+}
+
+// unservedPairs counts the consecutive pairs of the ring-ordered vertex
+// set that still carry unserved demand.
+func (gs *greedyScratch) unservedPairs(_ ring.Ring, verts []int) int {
+	count := 0
+	k := len(verts)
+	for i := 0; i < k; i++ {
+		if gs.residual.HasEdge(verts[i], verts[(i+1)%k]) {
+			count++
 		}
 	}
-	cNew := cover.MustCycle(r, withV...)
-	after := 0
-	for _, pr := range cNew.Pairs() {
-		if need[pr] > 0 {
-			after++
-		}
-	}
-	return after - before
+	return count
 }
 
 func contains(vs []int, v int) bool {

@@ -89,6 +89,22 @@ func TestGreedySingleRequest(t *testing.T) {
 	}
 }
 
+// TestGreedySmallerDemandThanRing pins an input class the map-era greedy
+// handled and the dense residual must keep handling: a demand graph on
+// fewer vertices than the ring. Cycle growing probes ring vertices
+// beyond the demand's range; the residual bookkeeping must answer "not
+// demanded" there, not range-panic.
+func TestGreedySmallerDemandThanRing(t *testing.T) {
+	r := ring.MustNew(8)
+	demand := graph.New(5)
+	demand.AddEdge(0, 4)
+	demand.AddEdge(1, 3)
+	cv := Greedy(r, demand)
+	if err := cover.Verify(cv, demand); err != nil {
+		t.Fatalf("covering invalid: %v", err)
+	}
+}
+
 func TestEliminateRedundant(t *testing.T) {
 	r := ring.MustNew(6)
 	demand := graph.New(6)

@@ -87,7 +87,13 @@ type mcState struct {
 	uncoveredPos []int
 	numUncovered int
 
-	cands []mcCandidate // scratch
+	// Candidate arena, rebuilt by buildCandidates each step and reused
+	// across the whole run: candidate i's vertices live at
+	// candVerts[off:off+k], its pair indices at the same offsets of
+	// candPairs. No per-step allocation.
+	cands     []mcCandidate
+	candVerts []int
+	candPairs []int
 }
 
 func newMCState(p mcProblem) *mcState {
@@ -190,26 +196,9 @@ func (st *mcState) markCovered(idx int) {
 	st.numUncovered--
 }
 
-func (st *mcState) cyclePairs(verts []int) []int {
-	k := len(verts)
-	ps := make([]int, 0, k)
-	for i := 0; i < k; i++ {
-		ps = append(ps, st.pairIdx(verts[i], verts[(i+1)%k]))
-	}
-	return ps
-}
-
 func (st *mcState) addCycle(verts []int) {
-	vs := make([]int, len(verts))
-	for i, v := range verts {
-		vs[i] = st.r.Norm(v)
-	}
-	ring.SortByRingOrder(vs)
-	c := mcCycle{verts: vs, pairs: st.cyclePairs(vs)}
-	for _, p := range c.pairs {
-		st.cover(p)
-	}
-	st.cycles = append(st.cycles, c)
+	st.cycles = append(st.cycles, mcCycle{})
+	st.attach(len(st.cycles)-1, verts)
 }
 
 func (st *mcState) cover(p int) {
@@ -235,17 +224,32 @@ func (st *mcState) detach(i int) {
 	}
 }
 
-func (st *mcState) attach(i int, verts []int) {
-	vs := make([]int, len(verts))
-	for k, v := range verts {
-		vs[k] = st.r.Norm(v)
+// restore re-covers a detached cycle's pairs without rebuilding it — the
+// undo of detach for a victim that keeps its cycle.
+func (st *mcState) restore(i int) {
+	for _, p := range st.cycles[i].pairs {
+		st.cover(p)
 	}
-	ring.SortByRingOrder(vs)
-	c := mcCycle{verts: vs, pairs: st.cyclePairs(vs)}
+}
+
+// attach replaces cycle i with the given vertex set, reusing the cycle's
+// slice storage. verts must not alias the cycle's own buffers (the
+// self-replacement case is restore).
+func (st *mcState) attach(i int, verts []int) {
+	c := &st.cycles[i]
+	c.verts = append(c.verts[:0], verts...)
+	for k, v := range c.verts {
+		c.verts[k] = st.r.Norm(v)
+	}
+	ring.SortByRingOrder(c.verts)
+	k := len(c.verts)
+	c.pairs = c.pairs[:0]
+	for j := 0; j < k; j++ {
+		c.pairs = append(c.pairs, st.pairIdx(c.verts[j], c.verts[(j+1)%k]))
+	}
 	for _, p := range c.pairs {
 		st.cover(p)
 	}
-	st.cycles[i] = c
 }
 
 func (st *mcState) loss(i int) int {
@@ -261,9 +265,9 @@ func (st *mcState) loss(i int) int {
 	return l
 }
 
-func (st *mcState) gain(pairs []int) int {
+func (st *mcState) gain(c mcCandidate) int {
 	g := 0
-	for _, p := range pairs {
+	for _, p := range st.candPairs[c.off : c.off+c.k] {
 		if st.coverage[p] == 0 {
 			u, v := p/st.n, p%st.n
 			if st.inUniverse(u, v) {
@@ -290,23 +294,25 @@ func (st *mcState) step() {
 		st.detach(vi)
 		lossVi := st.numUncovered - base
 		for ci := range st.cands {
-			delta := lossVi - st.gain(st.cands[ci].pairs)
+			delta := lossVi - st.gain(st.cands[ci])
 			if delta < bestDelta || (delta == bestDelta && st.rng.Intn(2) == 0) {
 				bestV, bestC, bestDelta = vi, ci, delta
 			}
 		}
-		st.attach(vi, st.cycles[vi].verts)
+		st.restore(vi)
 	}
 	if bestV == -1 {
 		return
 	}
 	st.detach(bestV)
-	st.attach(bestV, st.cands[bestC].verts)
+	c := st.cands[bestC]
+	st.attach(bestV, st.candVerts[c.off:c.off+c.k])
 }
 
+// mcCandidate references a candidate cycle in the state's flat arena:
+// vertices at candVerts[off:off+k], pair indices at candPairs[off:off+k].
 type mcCandidate struct {
-	verts []int
-	pairs []int
+	off, k int
 }
 
 // buildCandidates fills st.cands with cycles in which u and v are
@@ -316,7 +322,9 @@ type mcCandidate struct {
 // gap; this keeps enumeration O(|gapOK|²) regardless of n.
 func (st *mcState) buildCandidates(u, v int) {
 	st.cands = st.cands[:0]
-	scratch := make([]int, 0, 4)
+	st.candVerts = st.candVerts[:0]
+	st.candPairs = st.candPairs[:0]
+	var tmp [4]int
 	for _, dir := range [2][2]int{{u, v}, {v, u}} {
 		a, b := dir[0], dir[1]
 		// Arc a→b empty; intermediates walk clockwise from b back to a.
@@ -328,8 +336,8 @@ func (st *mcState) buildCandidates(u, v int) {
 			w1 := st.r.Norm(b + g1)
 			// Triangle {a, b, w1}: closing gap l−g1 must be allowed.
 			if rest := l - g1; st.distAllowed(min(rest, st.n-rest)) {
-				scratch = append(scratch[:0], a, b, w1)
-				st.pushCandidate(scratch)
+				tmp[0], tmp[1], tmp[2] = a, b, w1
+				st.pushCandidate(tmp[:3])
 			}
 			for _, g2 := range st.gapOK {
 				if g1+g2 >= l {
@@ -340,17 +348,24 @@ func (st *mcState) buildCandidates(u, v int) {
 					continue
 				}
 				w2 := st.r.Norm(b + g1 + g2)
-				scratch = append(scratch[:0], a, b, w1, w2)
-				st.pushCandidate(scratch)
+				tmp[0], tmp[1], tmp[2], tmp[3] = a, b, w1, w2
+				st.pushCandidate(tmp[:4])
 			}
 		}
 	}
 }
 
+// pushCandidate appends the candidate cycle to the arena in ring order.
 func (st *mcState) pushCandidate(verts []int) {
-	vs := append([]int(nil), verts...)
+	off := len(st.candVerts)
+	st.candVerts = append(st.candVerts, verts...)
+	vs := st.candVerts[off:]
 	ring.SortByRingOrder(vs)
-	st.cands = append(st.cands, mcCandidate{verts: vs, pairs: st.cyclePairs(vs)})
+	k := len(vs)
+	for i := 0; i < k; i++ {
+		st.candPairs = append(st.candPairs, st.pairIdx(vs[i], vs[(i+1)%k]))
+	}
+	st.cands = append(st.cands, mcCandidate{off: off, k: k})
 }
 
 func (st *mcState) pickVictims() []int {

@@ -18,34 +18,50 @@ import (
 // least one pair uniquely), so this is a no-op there; it matters for
 // greedy output and for experiment ablations.
 func EliminateRedundant(cv *cover.Covering, demand *graph.Graph) int {
-	needFor := func(e graph.Edge) int {
-		if e.U >= demand.N() || e.V >= demand.N() {
+	n := cv.Ring.N()
+	needFor := func(u, v int) int {
+		if u >= demand.N() || v >= demand.N() {
 			return 0
 		}
-		return demand.Multiplicity(e.U, e.V)
+		return demand.Multiplicity(u, v)
 	}
 
-	counts := cv.CoverageCounts()
+	// Dense coverage tally on the ring's vertices: one slot per covered
+	// pair per cycle. Out-of-ring pairs are not tallied (TallyCoverage
+	// skips them) and never block a removal — they serve no demand.
+	counts := graph.New(n)
+	cv.TallyCoverage(counts)
+	inRing := func(u, v int) bool { return u >= 0 && v >= 0 && u < n && v < n }
 	removed := 0
 	for changed := true; changed; {
 		changed = false
 		// Prefer removing longer cycles: they free more slots.
 		bestIdx, bestLen := -1, 0
 		for i, c := range cv.Cycles {
+			verts := c.Vertices()
+			k := len(verts)
 			ok := true
-			for _, pr := range c.Pairs() {
-				if counts[pr]-1 < needFor(pr) {
+			for j := 0; j < k; j++ {
+				u, v := verts[j], verts[(j+1)%k]
+				if !inRing(u, v) {
+					continue
+				}
+				if counts.Mult(u, v)-1 < needFor(u, v) {
 					ok = false
 					break
 				}
 			}
-			if ok && c.Len() > bestLen {
-				bestIdx, bestLen = i, c.Len()
+			if ok && k > bestLen {
+				bestIdx, bestLen = i, k
 			}
 		}
 		if bestIdx >= 0 {
-			for _, pr := range cv.Cycles[bestIdx].Pairs() {
-				counts[pr]--
+			verts := cv.Cycles[bestIdx].Vertices()
+			k := len(verts)
+			for j := 0; j < k; j++ {
+				if u, v := verts[j], verts[(j+1)%k]; inRing(u, v) {
+					counts.RemoveEdge(u, v)
+				}
 			}
 			cv.Cycles = append(cv.Cycles[:bestIdx], cv.Cycles[bestIdx+1:]...)
 			removed++

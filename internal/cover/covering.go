@@ -83,35 +83,78 @@ func (cv *Covering) DuplicateSlots() int {
 	return d
 }
 
+// TallyCoverage adds one edge per covered pair-slot of the covering into
+// g — the dense equivalent of CoverageCounts, shared by the verifier
+// (which passes its reusable scratch graph), Covers/Uncovered and the
+// redundancy optimiser. g must already span the vertices of interest;
+// pairs with an endpoint outside g are skipped rather than counted:
+// such a slot can never serve a demand edge, so cycles built against
+// the wrong ring stay a descriptive verification error, never a panic.
+func (cv *Covering) TallyCoverage(g *graph.Graph) {
+	n := g.N()
+	for _, c := range cv.Cycles {
+		verts := c.Vertices()
+		k := len(verts)
+		for i := 0; i < k; i++ {
+			u, v := verts[i], verts[(i+1)%k]
+			if u < 0 || v < 0 || u >= n || v >= n {
+				continue
+			}
+			g.AddEdge(u, v)
+		}
+	}
+}
+
+// coverageGraph tallies every covered pair-slot into a fresh dense graph
+// on the ring's vertices: Mult(u, v) is the number of cycle slots
+// covering the pair. Iterating it (or the demand) is deterministic by
+// construction.
+func (cv *Covering) coverageGraph() *graph.Graph {
+	g := graph.New(cv.Ring.N())
+	cv.TallyCoverage(g)
+	return g
+}
+
+// coverageShortfall reports the first demand pair whose tallied coverage
+// falls below its multiplicity, in deterministic (ascending
+// lexicographic) order — the shared scan behind Covers and
+// Verifier.Verify. The demand must already be known to fit counts.
+func coverageShortfall(counts, demand *graph.Graph) error {
+	var err error
+	demand.ForEachEdge(func(u, v, need int) bool {
+		if got := counts.Mult(u, v); got < need {
+			err = fmt.Errorf("cover: pair %v covered %d times, need %d", graph.Edge{U: u, V: v}, got, need)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
 // Covers checks that every edge of the demand graph is covered by at least
 // its multiplicity (so a covering of λK_n serves each pair λ times). It
 // returns a descriptive error naming the first failure in deterministic
-// order, or nil.
+// (ascending lexicographic) order, or nil.
 func (cv *Covering) Covers(demand *graph.Graph) error {
 	if demand.N() > cv.Ring.N() {
 		return fmt.Errorf("cover: demand graph on %d vertices exceeds ring size %d", demand.N(), cv.Ring.N())
 	}
-	counts := cv.CoverageCounts()
-	for _, e := range demand.Edges() {
-		need := demand.Multiplicity(e.U, e.V)
-		if counts[e] < need {
-			return fmt.Errorf("cover: pair %v covered %d times, need %d", e, counts[e], need)
-		}
-	}
-	return nil
+	return coverageShortfall(cv.coverageGraph(), demand)
 }
 
 // Uncovered returns the demand edges (distinct pairs) whose coverage is
 // below their multiplicity, in deterministic order, together with the
 // shortfall.
 func (cv *Covering) Uncovered(demand *graph.Graph) []graph.Edge {
-	counts := cv.CoverageCounts()
+	counts := cv.coverageGraph()
 	var missing []graph.Edge
-	for _, e := range demand.Edges() {
-		if counts[e] < demand.Multiplicity(e.U, e.V) {
-			missing = append(missing, e)
+	demand.ForEachEdge(func(u, v, need int) bool {
+		// A demand vertex beyond the ring can never be covered.
+		if v >= counts.N() || counts.Mult(u, v) < need {
+			missing = append(missing, graph.Edge{U: u, V: v})
 		}
-	}
+		return true
+	})
 	return missing
 }
 

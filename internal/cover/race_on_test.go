@@ -1,0 +1,9 @@
+//go:build race
+
+package cover
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops Put values — the
+// pooled-path zero-alloc assertions are skipped there (the dedicated
+// Verifier assertions still run and pin the contract).
+const raceEnabled = true

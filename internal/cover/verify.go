@@ -5,33 +5,93 @@ import (
 
 	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/scratch"
 )
 
+// Verifier checks coverings against demands with caller-owned scratch
+// state, so repeated verifications allocate nothing in steady state: the
+// link-occupancy stamps and the dense coverage tally are reused across
+// calls, growing only when a larger ring arrives. A Verifier is not safe
+// for concurrent use; the package-level Verify/VerifyDRC functions draw
+// from a shared pool and are.
+type Verifier struct {
+	// stamp[l] == epoch marks ring link l as occupied by an arc of the
+	// cycle currently being checked. Bumping epoch resets all links in
+	// O(1); the array is cleared only when it grows.
+	stamp []uint64
+	epoch uint64
+	// cov is the dense coverage tally of the covering under verification:
+	// one edge per covered pair-slot.
+	cov graph.Graph
+}
+
+// NewVerifier returns a Verifier with empty scratch state.
+func NewVerifier() *Verifier { return &Verifier{} }
+
+var verifiers = scratch.NewPool(NewVerifier)
+
 // VerifyDRC checks the disjoint routing constraint for a single cycle by
-// explicit construction rather than by the structure theorem: it builds
-// the canonical routing (clockwise arc per consecutive pair) and verifies
-// that the arcs are pairwise link-disjoint and tile the whole ring. For a
-// well-formed Cycle this always succeeds — the test suite relies on that —
-// but the verifier recomputes it so that experiment results never depend
-// on the constructor's correctness alone.
+// explicit construction rather than by the structure theorem: it walks
+// the canonical routing (clockwise arc per consecutive pair) and tallies
+// per-link load in one O(n) pass, reporting the first link claimed by two
+// arcs. For a well-formed Cycle this always succeeds — the test suite
+// relies on that — but the verifier recomputes it so that experiment
+// results never depend on the constructor's correctness alone.
 func VerifyDRC(r ring.Ring, c Cycle) error {
-	arcs := c.Arcs(r)
+	vf := verifiers.Get()
+	err := vf.VerifyDRC(r, c)
+	verifiers.Put(vf)
+	return err
+}
+
+// VerifyDRC is the pooled VerifyDRC against this verifier's scratch
+// state. Allocation-free on the success path.
+func (vf *Verifier) VerifyDRC(r ring.Ring, c Cycle) error {
+	n := r.N()
+	vf.ensureLinks(n)
+	vf.epoch++
+	verts := c.Vertices()
+	k := len(verts)
 	total := 0
-	for i, a := range arcs {
-		if a.IsEmpty() {
+	for i := 0; i < k; i++ {
+		from, to := verts[i], verts[(i+1)%k]
+		gap := r.Gap(from, to)
+		if gap == 0 {
 			return fmt.Errorf("cover: cycle %v yields an empty routing arc", c)
 		}
-		total += a.Len(r)
-		for j := i + 1; j < len(arcs); j++ {
-			if !a.Disjoint(r, arcs[j]) {
-				return fmt.Errorf("cover: cycle %v routes pairs %d and %d over a shared link", c, i, j)
+		total += gap
+		// Mark the gap links of the clockwise arc from→to. A duplicate
+		// mark is a link shared by two of the cycle's arcs — the first
+		// overload is reported, and bounds the whole walk at O(n) marks.
+		// Norm matches the old Arc-based walk: a cycle handed to the
+		// standalone VerifyDRC may carry out-of-ring vertex labels.
+		l := r.Norm(from)
+		for j := 0; j < gap; j++ {
+			if vf.stamp[l] == vf.epoch {
+				return fmt.Errorf("cover: cycle %v routes link %d on two arcs", c, l)
+			}
+			vf.stamp[l] = vf.epoch
+			l++
+			if l == n {
+				l = 0
 			}
 		}
 	}
-	if total != r.N() {
-		return fmt.Errorf("cover: cycle %v routing covers %d links, want %d", c, total, r.N())
+	if total != n {
+		return fmt.Errorf("cover: cycle %v routing covers %d links, want %d", c, total, n)
 	}
 	return nil
+}
+
+// ensureLinks grows the link stamp array to n links, resetting the epoch
+// clock only when fresh (zeroed) storage is minted.
+func (vf *Verifier) ensureLinks(n int) {
+	if cap(vf.stamp) < n {
+		vf.stamp = make([]uint64, n)
+		vf.epoch = 0
+		return
+	}
+	vf.stamp = vf.stamp[:n]
 }
 
 // Verify performs the full validity check of a covering against a demand
@@ -46,23 +106,41 @@ func VerifyDRC(r ring.Ring, c Cycle) error {
 // instances (e.g. the Instance returned alongside a parse error) reach
 // this boundary from untrusted callers.
 func Verify(cv *Covering, demand *graph.Graph) error {
+	vf := verifiers.Get()
+	err := vf.Verify(cv, demand)
+	verifiers.Put(vf)
+	return err
+}
+
+// Verify is the pooled Verify against this verifier's scratch state.
+// Allocation-free on the success path once the scratch arrays have grown
+// to the ring size.
+func (vf *Verifier) Verify(cv *Covering, demand *graph.Graph) error {
 	if cv == nil {
 		return fmt.Errorf("cover: nil covering")
 	}
 	if demand == nil {
 		return fmt.Errorf("cover: nil demand graph (zero-value instance?)")
 	}
+	n := cv.Ring.N()
 	for i, c := range cv.Cycles {
 		for _, v := range c.Vertices() {
 			if !cv.Ring.Valid(v) {
 				return fmt.Errorf("cover: cycle %d = %v has vertex %d outside ring of size %d", i, c, v, cv.Ring.N())
 			}
 		}
-		if err := VerifyDRC(cv.Ring, c); err != nil {
+		if err := vf.VerifyDRC(cv.Ring, c); err != nil {
 			return fmt.Errorf("cover: cycle %d: %w", i, err)
 		}
 	}
-	return cv.Covers(demand)
+	if demand.N() > n {
+		return fmt.Errorf("cover: demand graph on %d vertices exceeds ring size %d", demand.N(), n)
+	}
+	// Coverage: tally every covered pair-slot into the dense scratch
+	// graph, then scan the demand once in deterministic order.
+	vf.cov.Reset(n)
+	cv.TallyCoverage(&vf.cov)
+	return coverageShortfall(&vf.cov, demand)
 }
 
 // VerifyOptimal verifies the covering against the all-to-all instance and

@@ -1,0 +1,38 @@
+package cover
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// BenchmarkVerifyWarm is the pinned warm-verifier hot path: full Verify
+// of a 33-cycle covering against its demand with a dedicated Verifier.
+// CI runs it under -benchmem and fails on allocs/op > 0 (see the alloc
+// gate in ci.yml); TestVerifyWarmZeroAllocs pins the same contract as a
+// test.
+func BenchmarkVerifyWarm(b *testing.B) {
+	const n = 33
+	r := ring.MustNew(n)
+	cv := NewCovering(r)
+	for v := 0; v < n; v++ {
+		cv.Add(MustCycle(r, v, (v+1)%n, (v+2)%n))
+	}
+	demand := graph.New(n)
+	for v := 0; v < n; v++ {
+		demand.AddEdge(v, (v+1)%n)
+		demand.AddEdge(v, (v+2)%n)
+	}
+	vf := NewVerifier()
+	if err := vf.Verify(cv, demand); err != nil { // warm the scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vf.Verify(cv, demand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

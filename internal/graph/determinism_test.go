@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestIterationOrderDeterministic pins the iteration contract the cache
+// signatures, the verifier's error messages and the JSON dumps rely on:
+// two graphs holding the same edge multiset iterate identically —
+// ascending lexicographic pair order — regardless of the order the edges
+// were inserted or of any remove/re-add churn. The map-backed
+// implementation only guaranteed this after an explicit sort; the dense
+// core guarantees it structurally, and this test keeps it that way.
+func TestIterationOrderDeterministic(t *testing.T) {
+	const n = 17
+	type ins struct{ u, v, k int }
+	var edges []ins
+	rng := rand.New(rand.NewSource(42))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(3) > 0 {
+				edges = append(edges, ins{u, v, 1 + rng.Intn(3)})
+			}
+		}
+	}
+
+	forward := New(n)
+	for _, e := range edges {
+		forward.AddEdgeMulti(e.u, e.v, e.k)
+	}
+	backward := New(n)
+	for i := len(edges) - 1; i >= 0; i-- {
+		backward.AddEdgeMulti(edges[i].u, edges[i].v, edges[i].k)
+	}
+	shuffled := New(n)
+	perm := rng.Perm(len(edges))
+	for _, i := range perm {
+		shuffled.AddEdgeMulti(edges[i].u, edges[i].v, edges[i].k)
+	}
+	// Churn: add noise edges then remove them again.
+	for i := 0; i < 50; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		shuffled.AddEdge(u, v)
+		if !shuffled.RemoveEdge(u, v) {
+			t.Fatal("noise edge vanished")
+		}
+	}
+
+	want := forward.Edges()
+	for i := 1; i < len(want); i++ {
+		if want[i-1].U > want[i].U || (want[i-1].U == want[i].U && want[i-1].V >= want[i].V) {
+			t.Fatalf("Edges() not in ascending lexicographic order at %d: %v, %v", i, want[i-1], want[i])
+		}
+	}
+	for name, g := range map[string]*Graph{"backward": backward, "shuffled": shuffled} {
+		if got := g.Edges(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s insertion order changed Edges():\n got %v\nwant %v", name, got, want)
+		}
+		if !g.EqualCover(forward) {
+			t.Fatalf("%s not EqualCover(forward)", name)
+		}
+	}
+
+	// Clone preserves both content and iteration order.
+	c := shuffled.Clone()
+	if got := c.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clone changed Edges(): got %v want %v", got, want)
+	}
+	if !c.EqualCover(forward) || c.M() != forward.M() || c.DistinctEdges() != forward.DistinctEdges() {
+		t.Fatal("Clone lost cover equality")
+	}
+}
+
+// TestEqualCoverSemantics pins EqualCover's contract on the edges of the
+// type: nil graphs, size mismatches, and multiplicity differences.
+func TestEqualCoverSemantics(t *testing.T) {
+	var nilG *Graph
+	if !nilG.EqualCover(nil) {
+		t.Fatal("nil graphs must be EqualCover")
+	}
+	if !nilG.EqualCover(New(0)) || !New(0).EqualCover(nilG) {
+		t.Fatal("nil must equal the empty graph on 0 vertices")
+	}
+	if New(3).EqualCover(New(4)) {
+		t.Fatal("different vertex counts cannot be EqualCover")
+	}
+	a, b := New(4), New(4)
+	a.AddEdge(0, 1)
+	b.AddEdgeMulti(0, 1, 2)
+	if a.EqualCover(b) {
+		t.Fatal("different multiplicities cannot be EqualCover")
+	}
+	b.RemoveEdge(0, 1)
+	if !a.EqualCover(b) {
+		t.Fatal("equal multisets must be EqualCover")
+	}
+}
+
+// TestCopyFromReuse pins the scratch contract: a graph repeatedly
+// CopyFrom-ed from same-sized sources performs no allocation after the
+// first copy.
+func TestCopyFromReuse(t *testing.T) {
+	src := Complete(12)
+	var dst Graph
+	dst.CopyFrom(src) // grow once
+	if avg := testing.AllocsPerRun(100, func() { dst.CopyFrom(src) }); avg != 0 {
+		t.Fatalf("warm CopyFrom allocated %.1f times per run, want 0", avg)
+	}
+	if !dst.EqualCover(src) {
+		t.Fatal("CopyFrom lost content")
+	}
+	// Shrinking reuse: a smaller source must also be allocation-free.
+	small := Complete(5)
+	dst.CopyFrom(small)
+	if !dst.EqualCover(small) {
+		t.Fatal("CopyFrom to smaller graph lost content")
+	}
+	if avg := testing.AllocsPerRun(100, func() { dst.CopyFrom(small) }); avg != 0 {
+		t.Fatalf("warm shrinking CopyFrom allocated %.1f times per run, want 0", avg)
+	}
+}

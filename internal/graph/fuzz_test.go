@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refGraph is the map-backed reference implementation the dense core
+// replaced: straightforward bookkeeping with no shared code, used as the
+// ground truth for the property fuzz below.
+type refGraph struct {
+	n    int
+	mult map[Edge]int
+	deg  []int
+	m    int
+}
+
+func newRef(n int) *refGraph {
+	return &refGraph{n: n, mult: make(map[Edge]int), deg: make([]int, n)}
+}
+
+func (g *refGraph) add(u, v, k int) {
+	e := NewEdge(u, v)
+	g.mult[e] += k
+	g.deg[u] += k
+	g.deg[v] += k
+	g.m += k
+}
+
+func (g *refGraph) remove(u, v int) bool {
+	if u == v {
+		return false
+	}
+	e := NewEdge(u, v)
+	if g.mult[e] == 0 {
+		return false
+	}
+	g.mult[e]--
+	if g.mult[e] == 0 {
+		delete(g.mult, e)
+	}
+	g.deg[u]--
+	g.deg[v]--
+	g.m--
+	return true
+}
+
+func (g *refGraph) edges() []Edge {
+	es := make([]Edge, 0, len(g.mult))
+	for e := range g.mult {
+		es = append(es, e)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+func (g *refGraph) covers(h *refGraph) bool {
+	if h.n == 0 {
+		return true
+	}
+	if g.n < h.n {
+		return false
+	}
+	for e, k := range h.mult {
+		if g.mult[e] < k {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzGraphOps drives the dense graph and the map reference through the
+// same random operation sequence over two graphs and checks that every
+// observable — Mult, Degree, M, DistinctEdges, Edges order, Covers,
+// EqualCover — agrees at every step.
+func FuzzGraphOps(f *testing.F) {
+	f.Add(uint8(5), []byte{0x01, 0x12, 0x83, 0x24, 0x45})
+	f.Add(uint8(3), []byte{0x01, 0x01, 0x81, 0x01})
+	f.Add(uint8(12), []byte{0x5b, 0x12, 0x9a, 0x34, 0xff, 0x00, 0x77})
+	f.Add(uint8(2), []byte{})
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, ops []byte) {
+		n := 2 + int(nRaw)%14 // 2..15 vertices
+		dense := [2]*Graph{New(n), New(n)}
+		ref := [2]*refGraph{newRef(n), newRef(n)}
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op := ops[i]
+			which := int(op>>6) & 1
+			u := int(op) % n
+			v := int(ops[i+1]) % n
+			if u == v {
+				continue
+			}
+			d, r := dense[which], ref[which]
+			if op&0x80 != 0 {
+				got := d.RemoveEdge(u, v)
+				want := r.remove(u, v)
+				if got != want {
+					t.Fatalf("RemoveEdge(%d,%d) = %v, reference %v", u, v, got, want)
+				}
+			} else {
+				k := 1 + int(ops[i+1]>>5)
+				d.AddEdgeMulti(u, v, k)
+				r.add(u, v, k)
+			}
+			if d.Mult(u, v) != r.mult[NewEdge(u, v)] {
+				t.Fatalf("Mult(%d,%d) = %d, reference %d", u, v, d.Mult(u, v), r.mult[NewEdge(u, v)])
+			}
+			if d.Degree(u) != r.deg[u] || d.Degree(v) != r.deg[v] {
+				t.Fatalf("Degree mismatch at {%d,%d}", u, v)
+			}
+		}
+
+		for w := 0; w < 2; w++ {
+			d, r := dense[w], ref[w]
+			if d.M() != r.m {
+				t.Fatalf("graph %d: M() = %d, reference %d", w, d.M(), r.m)
+			}
+			if d.DistinctEdges() != len(r.mult) {
+				t.Fatalf("graph %d: DistinctEdges() = %d, reference %d", w, d.DistinctEdges(), len(r.mult))
+			}
+			if got, want := d.Edges(), r.edges(); !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+				t.Fatalf("graph %d: Edges() = %v, reference %v", w, got, want)
+			}
+			// ForEachEdge must agree with Edges in content and order.
+			var walked []Edge
+			d.ForEachEdge(func(u, v, mult int) bool {
+				walked = append(walked, Edge{U: u, V: v})
+				if d.Mult(u, v) != mult {
+					t.Fatalf("graph %d: ForEachEdge mult %d != Mult %d at {%d,%d}", w, mult, d.Mult(u, v), u, v)
+				}
+				return true
+			})
+			if !reflect.DeepEqual(walked, d.Edges()) && (len(walked) != 0 || len(d.Edges()) != 0) {
+				t.Fatalf("graph %d: ForEachEdge order %v != Edges %v", w, walked, d.Edges())
+			}
+		}
+
+		// Cross-graph relations.
+		if got, want := dense[0].Covers(dense[1]), ref[0].covers(ref[1]); got != want {
+			t.Fatalf("Covers(a,b) = %v, reference %v", got, want)
+		}
+		if got, want := dense[1].Covers(dense[0]), ref[1].covers(ref[0]); got != want {
+			t.Fatalf("Covers(b,a) = %v, reference %v", got, want)
+		}
+		wantEq := ref[0].covers(ref[1]) && ref[1].covers(ref[0])
+		if got := dense[0].EqualCover(dense[1]); got != wantEq {
+			t.Fatalf("EqualCover = %v, reference %v", got, wantEq)
+		}
+
+		// Clone and CopyFrom must preserve the cover exactly.
+		c := dense[0].Clone()
+		if !c.EqualCover(dense[0]) {
+			t.Fatal("Clone not EqualCover to source")
+		}
+		var copied Graph
+		copied.CopyFrom(dense[1])
+		if !copied.EqualCover(dense[1]) {
+			t.Fatal("CopyFrom not EqualCover to source")
+		}
+	})
+}

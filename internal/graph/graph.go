@@ -6,11 +6,24 @@
 // instance is the complete graph K_n. A covering of I is checked by pure
 // edge bookkeeping, so the package centres on a compact undirected
 // multigraph with counted edges.
+//
+// # Representation
+//
+// Graph stores multiplicities in a flat triangular []int32 indexed by the
+// rank of the vertex pair (u, v), u < v, in lexicographic order, plus a
+// degree array. There is no hashing and no per-edge allocation: Mult, Add
+// and Remove are O(1) array operations, whole-graph comparisons
+// (EqualCover, Covers, IsSubgraphOf) are linear scans, and CopyFrom
+// re-fills a caller-owned scratch graph without allocating once its
+// backing arrays have grown to size. Iteration (Edges, ForEachEdge,
+// Neighbors) is always in ascending lexicographic pair order, so every
+// derived artifact — error messages, JSON dumps, content hashes — is
+// deterministic by construction.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"math"
 )
 
 // Edge is an undirected vertex pair in canonical order (U < V).
@@ -47,18 +60,30 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
 // Graph is an undirected multigraph on vertices 0..n-1 with counted edges
 // (multiplicity per vertex pair). The zero value is unusable; call New.
 type Graph struct {
-	n    int
-	mult map[Edge]int
-	deg  []int
-	m    int // total edge count including multiplicity
+	n        int
+	mult     []int32 // triangular pair-rank array, see rank()
+	deg      []int
+	m        int // total edge count including multiplicity
+	distinct int // vertex pairs with multiplicity >= 1
 }
+
+// rank returns the index of pair (u, v), u < v, in the triangular
+// multiplicity array: pairs ordered lexicographically, row u holding the
+// n-1-u pairs (u, u+1) .. (u, n-1).
+func (g *Graph) rank(u, v int) int {
+	return u*(g.n-1) - u*(u-1)/2 + v - u - 1
+}
+
+// PairCount returns the number of distinct vertex pairs on n vertices —
+// the length of the triangular multiplicity array.
+func PairCount(n int) int { return n * (n - 1) / 2 }
 
 // New returns an empty graph on n vertices.
 func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{n: n, mult: make(map[Edge]int), deg: make([]int, n)}
+	return &Graph{n: n, mult: make([]int32, PairCount(n)), deg: make([]int, n)}
 }
 
 // Complete returns K_n.
@@ -101,11 +126,11 @@ func Cycle(n int) *Graph {
 
 // N returns the number of vertices. A nil graph — the demand of a
 // zero-value instance — has none; the read accessors (N, M,
-// DistinctEdges, Degree, Multiplicity, HasEdge, Edges,
-// EdgesWithMultiplicity, Neighbors) are nil-safe so that handing such
-// an instance to a size or membership check reports emptiness instead
-// of panicking. Everything else — mutation, cloning, traversal — still
-// requires a graph built by New.
+// DistinctEdges, Degree, Multiplicity, Mult, HasEdge, Edges,
+// EdgesWithMultiplicity, Neighbors, ForEachEdge, EqualCover, Covers) are
+// nil-safe so that handing such an instance to a size or membership check
+// reports emptiness instead of panicking. Everything else — mutation,
+// cloning, traversal — still requires a graph built by New.
 func (g *Graph) N() int {
 	if g == nil {
 		return 0
@@ -127,7 +152,7 @@ func (g *Graph) DistinctEdges() int {
 	if g == nil {
 		return 0
 	}
-	return len(g.mult)
+	return g.distinct
 }
 
 // Degree returns the degree of v counted with multiplicity; 0 for nil.
@@ -150,8 +175,15 @@ func (g *Graph) Multiplicity(u, v int) int {
 	if u == v {
 		return 0
 	}
-	return g.mult[NewEdge(u, v)]
+	if u > v {
+		u, v = v, u
+	}
+	return int(g.mult[g.rank(u, v)])
 }
+
+// Mult is Multiplicity under its hot-path name: the O(1) pair-rank array
+// read the inner loops are written against.
+func (g *Graph) Mult(u, v int) int { return g.Multiplicity(u, v) }
 
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool { return g.Multiplicity(u, v) > 0 }
@@ -160,15 +192,28 @@ func (g *Graph) HasEdge(u, v int) bool { return g.Multiplicity(u, v) > 0 }
 func (g *Graph) AddEdge(u, v int) { g.AddEdgeMulti(u, v, 1) }
 
 // AddEdgeMulti adds k parallel edges between u and v. It panics on
-// self-loops, out-of-range vertices or k < 1.
+// self-loops, out-of-range vertices, k < 1, or a multiplicity overflowing
+// the int32 pair counter.
 func (g *Graph) AddEdgeMulti(u, v, k int) {
 	g.check(u)
 	g.check(v)
 	if k < 1 {
 		panic("graph: AddEdgeMulti with k < 1")
 	}
-	e := NewEdge(u, v)
-	g.mult[e] += k
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	i := g.rank(u, v)
+	if int64(g.mult[i])+int64(k) > math.MaxInt32 {
+		panic(fmt.Sprintf("graph: multiplicity of {%d,%d} overflows int32", u, v))
+	}
+	if g.mult[i] == 0 {
+		g.distinct++
+	}
+	g.mult[i] += int32(k)
 	g.deg[u] += k
 	g.deg[v] += k
 	g.m += k
@@ -182,13 +227,16 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	e := NewEdge(u, v)
-	if g.mult[e] == 0 {
+	if u > v {
+		u, v = v, u
+	}
+	i := g.rank(u, v)
+	if g.mult[i] == 0 {
 		return false
 	}
-	g.mult[e]--
-	if g.mult[e] == 0 {
-		delete(g.mult, e)
+	g.mult[i]--
+	if g.mult[i] == 0 {
+		g.distinct--
 	}
 	g.deg[u]--
 	g.deg[v]--
@@ -196,23 +244,43 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	return true
 }
 
-// Edges returns the distinct edges in deterministic (sorted) order;
-// nil for a nil graph.
+// Edges returns the distinct edges in deterministic ascending
+// lexicographic order; nil for a nil graph.
 func (g *Graph) Edges() []Edge {
 	if g == nil {
 		return nil
 	}
-	es := make([]Edge, 0, len(g.mult))
-	for e := range g.mult {
-		es = append(es, e)
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	es := make([]Edge, 0, g.distinct)
+	i := 0
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.mult[i] > 0 {
+				es = append(es, Edge{U: u, V: v})
+			}
+			i++
 		}
-		return es[i].V < es[j].V
-	})
+	}
 	return es
+}
+
+// ForEachEdge calls fn for every distinct edge in ascending lexicographic
+// order with its multiplicity, stopping early when fn returns false. It
+// performs no allocation; nil graphs are a no-op.
+func (g *Graph) ForEachEdge(fn func(u, v, mult int) bool) {
+	if g == nil {
+		return
+	}
+	i := 0
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if k := g.mult[i]; k > 0 {
+				if !fn(u, v, int(k)) {
+					return
+				}
+			}
+			i++
+		}
+	}
 }
 
 // EdgesWithMultiplicity returns every edge repeated by its multiplicity,
@@ -222,11 +290,12 @@ func (g *Graph) EdgesWithMultiplicity() []Edge {
 		return nil
 	}
 	es := make([]Edge, 0, g.m)
-	for _, e := range g.Edges() {
-		for i := 0; i < g.mult[e]; i++ {
-			es = append(es, e)
+	g.ForEachEdge(func(u, v, mult int) bool {
+		for i := 0; i < mult; i++ {
+			es = append(es, Edge{U: u, V: v})
 		}
-	}
+		return true
+	})
 	return es
 }
 
@@ -238,24 +307,134 @@ func (g *Graph) Neighbors(v int) []int {
 	}
 	g.check(v)
 	var ns []int
-	for e := range g.mult {
-		if w, ok := e.Other(v); ok {
-			ns = append(ns, w)
+	g.ForEachNeighbor(v, func(w, _ int) bool {
+		ns = append(ns, w)
+		return true
+	})
+	return ns
+}
+
+// ForEachNeighbor calls fn for every distinct neighbour of v in ascending
+// order with the connecting multiplicity, stopping early when fn returns
+// false. No allocation.
+func (g *Graph) ForEachNeighbor(v int, fn func(w, mult int) bool) {
+	if g == nil {
+		return
+	}
+	g.check(v)
+	for u := 0; u < v; u++ {
+		if k := g.mult[g.rank(u, v)]; k > 0 {
+			if !fn(u, int(k)) {
+				return
+			}
 		}
 	}
-	sort.Ints(ns)
-	return ns
+	// Row v is contiguous: pairs (v, v+1) .. (v, n-1).
+	i := g.rank(v, v+1)
+	for w := v + 1; w < g.n; w++ {
+		if k := g.mult[i]; k > 0 {
+			if !fn(w, int(k)) {
+				return
+			}
+		}
+		i++
+	}
+}
+
+// firstNeighbor returns the lowest-numbered neighbour of v, or -1.
+func (g *Graph) firstNeighbor(v int) int {
+	first := -1
+	g.ForEachNeighbor(v, func(w, _ int) bool {
+		first = w
+		return false
+	})
+	return first
 }
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	for e, k := range g.mult {
-		c.mult[e] = k
-	}
-	copy(c.deg, g.deg)
-	c.m = g.m
+	c := &Graph{}
+	c.CopyFrom(g)
 	return c
+}
+
+// CopyFrom makes g an exact copy of src, reusing g's backing arrays when
+// they are large enough: a scratch graph copied from same-sized sources
+// allocates only on first use. It panics on a nil src.
+func (g *Graph) CopyFrom(src *Graph) {
+	g.Reset(src.n)
+	copy(g.mult, src.mult)
+	copy(g.deg, src.deg)
+	g.m = src.m
+	g.distinct = src.distinct
+}
+
+// Reset makes g the empty graph on n vertices, reusing its backing arrays
+// when they are large enough.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	pairs := PairCount(n)
+	if cap(g.mult) < pairs {
+		g.mult = make([]int32, pairs)
+	} else {
+		g.mult = g.mult[:pairs]
+		clear(g.mult)
+	}
+	if cap(g.deg) < n {
+		g.deg = make([]int, n)
+	} else {
+		g.deg = g.deg[:n]
+		clear(g.deg)
+	}
+	g.n = n
+	g.m = 0
+	g.distinct = 0
+}
+
+// EqualCover reports whether two graphs are identical as demand coverings:
+// same vertex count and the same edge multiset (every pair with equal
+// multiplicity). It is an allocation-free O(n²) scan; nil graphs equal
+// empty graphs on zero vertices.
+func (g *Graph) EqualCover(h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	if g == nil || h == nil {
+		return true
+	}
+	if g.m != h.m || g.distinct != h.distinct {
+		return false
+	}
+	for i, k := range g.mult {
+		if k != h.mult[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether g serves h as a demand: every edge of h appears
+// in g with at least its multiplicity. It requires h to fit (h.N() ≤
+// g.N()) and is an allocation-free linear scan; a nil h is vacuously
+// covered.
+func (g *Graph) Covers(h *Graph) bool {
+	if h.N() == 0 {
+		return true
+	}
+	if g.N() < h.N() {
+		return false
+	}
+	covered := true
+	h.ForEachEdge(func(u, v, need int) bool {
+		if g.Multiplicity(u, v) < need {
+			covered = false
+			return false
+		}
+		return true
+	})
+	return covered
 }
 
 // IsSubgraphOf reports whether every edge of g (with multiplicity) appears
@@ -264,12 +443,7 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 	if g.n > h.n {
 		return false
 	}
-	for e, k := range g.mult {
-		if h.mult[e] < k {
-			return false
-		}
-	}
-	return true
+	return h.Covers(g)
 }
 
 // Connected reports whether the graph is connected, ignoring isolated
@@ -292,12 +466,13 @@ func (g *Graph) Connected(ignoreIsolated bool) bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.Neighbors(v) {
+		g.ForEachNeighbor(v, func(w, _ int) bool {
 			if !seen[w] {
 				seen[w] = true
 				queue = append(queue, w)
 			}
-		}
+			return true
+		})
 	}
 	for v := 0; v < g.n; v++ {
 		if !seen[v] && (g.deg[v] > 0 || !ignoreIsolated) {
@@ -348,8 +523,7 @@ func (g *Graph) EulerCircuit() ([]int, bool) {
 		var tour []int
 		cur := v
 		for work.deg[cur] > 0 {
-			ns := work.Neighbors(cur)
-			next := ns[0]
+			next := work.firstNeighbor(cur)
 			work.RemoveEdge(cur, next)
 			tour = append(tour, next)
 			cur = next

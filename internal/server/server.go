@@ -21,6 +21,7 @@ import (
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/instance"
 	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/scratch"
 	"github.com/cyclecover/cyclecover/internal/wdm"
 )
 
@@ -165,12 +166,28 @@ func (s *Server) planContext(r *http.Request) (context.Context, context.CancelFu
 	return context.WithTimeout(r.Context(), s.planTimeout)
 }
 
+// respBufs recycles response encode buffers (the same scratch-pool type
+// the sweep engine and the verifier use for their hot-path state), so a
+// response costs one buffered encode and one Write instead of per-call
+// encoder allocations and chunked writes.
+var respBufs = scratch.NewPool(func() *bytes.Buffer { return &bytes.Buffer{} })
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := respBufs.Get()
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Encoding failed before anything was written: the error is still
+		// reportable as a clean 500.
+		respBufs.Put(buf)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(buf.Bytes())
+	respBufs.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/scratch"
 )
 
 // DefaultSample bounds the sampled scenario set of a k ≥ 3 sweep when
@@ -142,6 +143,20 @@ type SweepResult struct {
 	Critical []LinkCriticality `json:"critical,omitempty"`
 }
 
+// sweepScratch is the reusable working state of one sweep: the resolved
+// demand routes, the flat scenario arena, and the per-worker shards. It
+// is drawn from a pool shared across all simulators (the same
+// scratch-pool type the server layer uses for its response buffers), so
+// steady-state sweeps allocate only what escapes into the result.
+type sweepScratch struct {
+	routes []demandRoute
+	scen   [][]ring.Link // scenario views, each a window into flat
+	flat   []ring.Link   // scenario link storage, back to back
+	shards []sweepShard
+}
+
+var sweepScratches = scratch.NewPool(func() *sweepScratch { return &sweepScratch{} })
+
 // Sweep runs SweepCtx without a context.
 func (s *Simulator) Sweep(opts SweepOptions) (SweepResult, error) {
 	return s.SweepCtx(context.Background(), opts)
@@ -189,9 +204,12 @@ func (s *Simulator) SweepCtx(ctx context.Context, opts SweepOptions) (SweepResul
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	sc := sweepScratches.Get()
+	defer sweepScratches.Put(sc)
+
 	space := binomial(links, opts.K)
 	// planScenarios caps every path at the MaxScenarios budget.
-	scenarios, sampled := planScenarios(links, opts, space)
+	scenarios, sampled := sc.planScenarios(links, opts, space)
 	planned := len(scenarios)
 	if workers > planned {
 		workers = planned
@@ -200,18 +218,17 @@ func (s *Simulator) SweepCtx(ctx context.Context, opts SweepOptions) (SweepResul
 		workers = 1
 	}
 
-	demands, err := s.demandRoutes()
+	demands, err := s.demandRoutes(sc)
 	if err != nil {
 		return SweepResult{}, err
 	}
-	shards := make([]sweepShard, workers)
+	shards := sc.shardsFor(workers, links, opts.KeepWorst)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sh := &shards[w]
-			sh.init(links, opts.KeepWorst)
 			// Strided partition: worker w owns scenarios w, w+W, w+2W, …
 			// The partition is fixed up front, so each scenario's tallies
 			// land in one shard regardless of scheduling.
@@ -244,30 +261,40 @@ type scenarioTally struct {
 }
 
 // demandRoute is a demand's scenario-invariant routing data, resolved
-// once per sweep: the working arc, its protection complement, and both
-// lengths. The evaluation loop then only runs arc containment tests.
+// once per sweep and reduced to plain integers: the working arc's start
+// and length, plus the protection complement's (which starts where the
+// working arc ends). The evaluation loop then runs pure offset
+// arithmetic — no Arc methods, no modulo.
 type demandRoute struct {
-	working, spare ring.Arc
-	wl, sl         int
+	wFrom, wl int // working arc: first link, length in links
+	sFrom, sl int // spare (complement) arc
 }
 
-// demandRoutes resolves every demand's working and spare arc up front.
-// A demand the network does not route is an error, exactly as in Fail —
-// silently skipping it would report survivability for traffic that was
-// never protected.
-func (s *Simulator) demandRoutes() ([]demandRoute, error) {
+// demandRoutes resolves every demand's working and spare arc up front
+// into the scratch's route buffer. A demand the network does not route is
+// an error, exactly as in Fail — silently skipping it would report
+// survivability for traffic that was never protected.
+func (s *Simulator) demandRoutes(sc *sweepScratch) ([]demandRoute, error) {
 	r := s.nw.Ring
-	edges := s.nw.Demand.Edges()
-	routes := make([]demandRoute, len(edges))
-	for i, e := range edges {
-		arc, ok := s.nw.WorkingArc(e.U, e.V)
+	sc.routes = sc.routes[:0]
+	var err error
+	s.nw.Demand.ForEachEdge(func(u, v, _ int) bool {
+		arc, ok := s.nw.WorkingArc(u, v)
 		if !ok {
-			return nil, fmt.Errorf("survive: demand %v has no subnetwork", e)
+			err = fmt.Errorf("survive: demand {%d,%d} has no subnetwork", u, v)
+			return false
 		}
-		spare := r.ArcBetween(arc.To, arc.From)
-		routes[i] = demandRoute{working: arc, spare: spare, wl: arc.Len(r), sl: spare.Len(r)}
+		wl := arc.Len(r)
+		sc.routes = append(sc.routes, demandRoute{
+			wFrom: arc.From, wl: wl,
+			sFrom: arc.To, sl: r.N() - wl,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
-	return routes, nil
+	return sc.routes, nil
 }
 
 // evaluate computes one scenario's tally. It is Fail without the
@@ -275,14 +302,15 @@ func (s *Simulator) demandRoutes() ([]demandRoute, error) {
 // restored / lost) per demand, integer counters only, no allocation on
 // the hot path. links must be valid, normalised ring links.
 func (s *Simulator) evaluate(links []ring.Link, demands []demandRoute) scenarioTally {
-	r := s.nw.Ring
+	n := s.nw.Ring.N()
 	var t scenarioTally
-	for _, d := range demands {
-		if !arcBrokenBy(r, d.working, links) {
+	for i := range demands {
+		d := &demands[i]
+		if !brokenBy(n, d.wFrom, d.wl, links) {
 			t.unaffected++
 			continue
 		}
-		if arcBrokenBy(r, d.spare, links) {
+		if brokenBy(n, d.sFrom, d.sl, links) {
 			t.lost++
 			continue
 		}
@@ -296,11 +324,17 @@ func (s *Simulator) evaluate(links []ring.Link, demands []demandRoute) scenarioT
 	return t
 }
 
-// arcBrokenBy reports whether any failed link lies on the arc. The
-// failed set is a tiny slice (K links), so a linear scan beats a map.
-func arcBrokenBy(r ring.Ring, a ring.Arc, failed []ring.Link) bool {
+// brokenBy reports whether any failed link lies on the clockwise arc of
+// `length` links starting at link `from` — Arc.Contains unrolled to a
+// branch-only offset test. The failed set is a tiny slice (K links), so a
+// linear scan beats a map.
+func brokenBy(n, from, length int, failed []ring.Link) bool {
 	for _, l := range failed {
-		if a.Contains(r, l) {
+		d := int(l) - from
+		if d < 0 {
+			d += n
+		}
+		if d < length {
 			return true
 		}
 	}
@@ -333,10 +367,32 @@ type sweepShard struct {
 	critLost      []int
 }
 
-func (sh *sweepShard) init(links, keep int) {
-	sh.critScenarios = make([]int, links)
-	sh.critLost = make([]int, links)
-	sh.keep = keep
+// shardsFor sizes the scratch's shard array for a sweep, resetting each
+// shard's counters and reusing its per-link tally storage.
+func (sc *sweepScratch) shardsFor(workers, links, keep int) []sweepShard {
+	for len(sc.shards) < workers {
+		sc.shards = append(sc.shards, sweepShard{})
+	}
+	shards := sc.shards[:workers]
+	for i := range shards {
+		shards[i].reset(links, keep)
+	}
+	return shards
+}
+
+// reset clears the shard for a new sweep, reusing its backing arrays.
+func (sh *sweepShard) reset(links, keep int) {
+	crit, lost, worst := sh.critScenarios, sh.critLost, sh.worst
+	*sh = sweepShard{keep: keep, worst: worst[:0]}
+	if cap(crit) < links {
+		crit = make([]int, links)
+		lost = make([]int, links)
+	} else {
+		crit, lost = crit[:links], lost[:links]
+		clear(crit)
+		clear(lost)
+	}
+	sh.critScenarios, sh.critLost = crit, lost
 }
 
 func (sh *sweepShard) add(index int, links []ring.Link, t scenarioTally) {
@@ -363,8 +419,11 @@ func (sh *sweepShard) add(index int, links []ring.Link, t scenarioTally) {
 		MaxSpareLen: t.maxSpare,
 		Rate:        rate(served, served+t.lost),
 	}
+	// A retained report escapes the sweep (into SweepResult), while the
+	// scenario link sets live in pooled scratch — copy on retention.
 	if !sh.hasMost || moreAffected(rep, sh.most) {
 		sh.most = rep
+		sh.most.Links = append([]ring.Link(nil), links...)
 		sh.hasMost = true
 	}
 	if t.lost > 0 {
@@ -373,7 +432,9 @@ func (sh *sweepShard) add(index int, links []ring.Link, t scenarioTally) {
 			sh.critScenarios[l]++
 			sh.critLost[l] += t.lost
 		}
-		sh.worst = insertWorst(sh.worst, rep, sh.keep)
+		kept := rep
+		kept.Links = append([]ring.Link(nil), links...)
+		sh.worst = insertWorst(sh.worst, kept, sh.keep)
 	}
 }
 
@@ -517,11 +578,13 @@ func binomial(n, k int) int64 {
 // K ≤ 2, and for K ≥ 3 spaces no larger than Sample), a seeded sample
 // without replacement otherwise. The budget cap is applied by the
 // caller; enumeration stops early at MaxScenarios so a truncated sweep
-// never materialises the whole space.
-func planScenarios(links int, opts SweepOptions, space int64) (scenarios [][]ring.Link, sampled bool) {
+// never materialises the whole space. The exhaustive path fills the
+// scratch's flat scenario arena — no per-scenario allocation in steady
+// state; the sequence is identical either way.
+func (sc *sweepScratch) planScenarios(links int, opts SweepOptions, space int64) (scenarios [][]ring.Link, sampled bool) {
 	limit := opts.MaxScenarios
 	if opts.K <= 2 || space <= int64(opts.Sample) {
-		return enumerate(links, opts.K, limit), false
+		return sc.enumerate(links, opts.K, limit), false
 	}
 	if limit > int64(opts.Sample) {
 		limit = int64(opts.Sample)
@@ -529,36 +592,87 @@ func planScenarios(links int, opts SweepOptions, space int64) (scenarios [][]rin
 	return sampleScenarios(links, opts.K, int(limit), opts.Seed, space), true
 }
 
-// enumerate lists the first `limit` K-subsets of the links in
-// lexicographic order.
-func enumerate(links, k int, limit int64) [][]ring.Link {
-	if k == 0 {
-		return [][]ring.Link{{}}
+// combinations yields the first `limit` K-subsets of [0, links) in
+// lexicographic order, passing the current index set to yield; yield
+// returning false stops the walk. The index slice is reused between
+// calls and must be copied out by the consumer.
+func combinations(links, k int, limit int64, idx []int, yield func([]int) bool) {
+	if k == 0 || int64(len(idx)) != int64(k) {
+		return
 	}
-	var out [][]ring.Link
-	idx := make([]int, k)
 	for i := range idx {
 		idx[i] = i
 	}
-	for int64(len(out)) < limit {
-		combo := make([]ring.Link, k)
-		for i, v := range idx {
-			combo[i] = ring.Link(v)
+	for count := int64(0); count < limit; count++ {
+		if !yield(idx) {
+			return
 		}
-		out = append(out, combo)
 		// Advance to the next combination.
 		i := k - 1
 		for i >= 0 && idx[i] == links-k+i {
 			i--
 		}
 		if i < 0 {
-			break
+			return
 		}
 		idx[i]++
 		for j := i + 1; j < k; j++ {
 			idx[j] = idx[j-1] + 1
 		}
 	}
+}
+
+// enumerate lists the first `limit` K-subsets of the links in
+// lexicographic order as windows into the scratch's flat arena.
+func (sc *sweepScratch) enumerate(links, k int, limit int64) [][]ring.Link {
+	sc.scen = sc.scen[:0]
+	sc.flat = sc.flat[:0]
+	if k == 0 {
+		return append(sc.scen, []ring.Link{})
+	}
+	// Pre-size the arena so subslice windows are never split across a
+	// growth reallocation.
+	want := limit
+	if space := binomial(links, k); space < want {
+		want = space
+	}
+	if need := int(want) * k; cap(sc.flat) < need {
+		sc.flat = make([]ring.Link, 0, need)
+	}
+	var idxArr [8]int // K is tiny (cycled caps it at 6); spill only beyond
+	var idxs []int
+	if k <= len(idxArr) {
+		idxs = idxArr[:k]
+	} else {
+		idxs = make([]int, k)
+	}
+	combinations(links, k, limit, idxs, func(combo []int) bool {
+		off := len(sc.flat)
+		for _, v := range combo {
+			sc.flat = append(sc.flat, ring.Link(v))
+		}
+		sc.scen = append(sc.scen, sc.flat[off:len(sc.flat):len(sc.flat)])
+		return true
+	})
+	return sc.scen
+}
+
+// enumerate lists the first `limit` K-subsets as freshly allocated
+// slices — the sampler's dense-regime fallback, which shuffles and
+// retains them beyond any scratch lifetime.
+func enumerate(links, k int, limit int64) [][]ring.Link {
+	if k == 0 {
+		return [][]ring.Link{{}}
+	}
+	var out [][]ring.Link
+	combinations(links, k, limit, make([]int, k), func(combo []int) bool {
+		scenario := make([]ring.Link, k)
+		for i, v := range combo {
+			scenario[i] = ring.Link(v)
+		}
+		out = append(out, scenario)
+		return true
+	})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
 	"github.com/cyclecover/cyclecover/internal/wdm"
 )
 
@@ -52,6 +53,29 @@ func BenchmarkSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweepEvaluate is the pinned sweep hot path: one scenario
+// classification over the K_33 plan's 528 resolved demand routes — the
+// loop a sweep runs once per scenario. CI runs it under -benchmem and
+// fails on allocs/op > 0 (see the alloc gate in ci.yml);
+// TestEvaluateZeroAllocs pins the same contract as a test.
+func BenchmarkSweepEvaluate(b *testing.B) {
+	sim := benchSimulator(b, 33)
+	sc := &sweepScratch{}
+	demands, err := sim.demandRoutes(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := []ring.Link{3, 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sim.evaluate(links, demands)
+		if t.unaffected+t.affected+t.lost != len(demands) {
+			b.Fatal("tally does not partition the demands")
+		}
 	}
 }
 
