@@ -9,12 +9,20 @@
 //	cyclecover -n 14 -demand random:0.3:7 # random demand, density 0.3, seed 7
 //	cyclecover -n 12 -strategy exact      # force one construction strategy
 //	cyclecover -n 20 -strategy portfolio -timeout 5s
+//	cyclecover -n 11 -delta add:0:4       # incremental replan after a change
 //
 // -strategy selects a construction path from the strategy registry
 // (closed-form, exact, repair, greedy, or portfolio to race them);
 // without it the default pipeline picks by demand class. -timeout bounds
 // the construction: on expiry the search is cancelled mid-branch and the
 // command exits non-zero.
+//
+// -delta switches to incremental replanning: the -n/-demand instance is
+// planned as the parent, the delta (add:<u>:<v> | remove:<u>:<v> |
+// fail:<u>:<v> | set:<u>:<v>:<m>) is applied to its demand, and the
+// child is planned by warm-starting repair from the parent covering —
+// the same path POST /plan/delta serves — falling back to cold
+// construction when repair exhausts its budget.
 package main
 
 import (
@@ -49,6 +57,8 @@ func main() {
 	strategy := flag.String("strategy", "",
 		"construction strategy: "+strings.Join(cyclecover.Strategies(), " | ")+" (default: pick by demand class)")
 	timeout := flag.Duration("timeout", 0, "construction deadline; expiry cancels the search mid-branch (0 = none)")
+	deltaSpec := flag.String("delta", "",
+		"incremental replan: apply a delta (add:<u>:<v> | remove:<u>:<v> | fail:<u>:<v> | set:<u>:<v>:<m>) to the planned instance and repair its covering")
 	asJSON := flag.Bool("json", false, "emit JSON")
 	quiet := flag.Bool("quiet", false, "suppress per-cycle listing")
 	flag.Parse()
@@ -63,6 +73,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *deltaSpec != "" {
+		runDelta(ctx, in, *strategy, *deltaSpec, *asJSON, *quiet)
+		return
 	}
 
 	var cv *cyclecover.Covering
@@ -124,6 +139,76 @@ func main() {
 	fmt.Println("verified: every request covered, every cycle DRC-routable")
 	if !*quiet {
 		for i, c := range cv.Cycles {
+			fmt.Printf("  cycle %3d: %v\n", i, c)
+		}
+	}
+}
+
+// deltaOutput is the JSON shape of a -delta run.
+type deltaOutput struct {
+	Parent   string  `json:"parent"`
+	Delta    string  `json:"delta"`
+	Child    string  `json:"child"`
+	N        int     `json:"n"`
+	Cycles   [][]int `json:"cycles"`
+	Size     int     `json:"size"`
+	Method   string  `json:"method"`
+	Repaired bool    `json:"repaired"`
+	Optimal  bool    `json:"optimal"`
+	Valid    bool    `json:"valid"`
+}
+
+// runDelta plans the parent instance through a cached planner, applies
+// the delta and replans incrementally — warm repair with cold fallback.
+func runDelta(ctx context.Context, in cyclecover.Instance, strategy, deltaSpec string, asJSON, quiet bool) {
+	d, err := cyclecover.ParseDelta(deltaSpec)
+	if err != nil {
+		fatal(err)
+	}
+	p := cyclecover.NewPlanner(cyclecover.WithStrategy(strategy))
+	if _, err := p.CoverInstanceCtx(ctx, in); err != nil {
+		fatal(fmt.Errorf("planning parent: %w", err))
+	}
+	pd, err := p.PlanDeltaCtx(ctx, p.SignatureOf(in), d)
+	if err != nil {
+		fatal(err)
+	}
+	verifyErr := cyclecover.Verify(pd.Covering, pd.Child)
+
+	if asJSON {
+		out := deltaOutput{
+			Parent:   pd.ParentSignature,
+			Delta:    d.String(),
+			Child:    pd.Signature,
+			N:        pd.Child.N(),
+			Size:     pd.Covering.Size(),
+			Method:   pd.Method,
+			Repaired: pd.Repaired,
+			Optimal:  pd.Optimal,
+			Valid:    verifyErr == nil,
+		}
+		for _, c := range pd.Covering.Cycles {
+			out.Cycles = append(out.Cycles, c.Vertices())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("parent: %s (%s)\n", in.Name, pd.ParentSignature)
+	fmt.Printf("delta:  %s -> child %s\n", d, pd.Signature)
+	fmt.Println(cyclecover.Describe(pd.Covering))
+	fmt.Printf("method: %s (repaired: %v)\n", pd.Method, pd.Repaired)
+	if verifyErr != nil {
+		fmt.Printf("VERIFY FAILED: %v\n", verifyErr)
+		os.Exit(1)
+	}
+	fmt.Println("verified: every request covered, every cycle DRC-routable")
+	if !quiet {
+		for i, c := range pd.Covering.Cycles {
 			fmt.Printf("  cycle %3d: %v\n", i, c)
 		}
 	}

@@ -21,6 +21,15 @@
 //	cycled                        # listen on :8337
 //	cycled -addr 127.0.0.1:9000 -workers 8 -cache 512 -queue 128
 //	cycled -plan-timeout 2s       # bound each plan request; expiry → 504
+//	cycled -snapshot plans.snap   # warm the cache at boot, persist on exit
+//
+// With -snapshot set, the daemon warms its covering cache from the named
+// snapshot file at startup (a missing file starts cold; an unreadable or
+// corrupt one is logged and skipped, never fatal — every entry that does
+// load is re-verified before admission) and persists the cache back to
+// the same path on graceful shutdown. The save is atomic (temp file +
+// fsync + rename), so a crash mid-save leaves the previous snapshot
+// intact rather than a truncated file.
 //
 // With -plan-timeout set, every /plan and /plan/batch request runs under
 // that deadline: on expiry the client receives 504 with a structured
@@ -57,13 +66,14 @@ func main() {
 	queue := flag.Int("queue", 64, "planner queue bound")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	planTimeout := flag.Duration("plan-timeout", 0, "per-request plan deadline; expiry answers 504 and cancels the search (0 = none)")
+	snapshot := flag.String("snapshot", "", "cache snapshot file: warm at boot, persist atomically on shutdown (empty = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue, PlanTimeout: *planTimeout}
-	if err := run(ctx, *addr, cfg, *drain, os.Stderr, nil); err != nil {
+	if err := run(ctx, *addr, cfg, *snapshot, *drain, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cycled:", err)
 		os.Exit(1)
 	}
@@ -71,9 +81,19 @@ func main() {
 
 // run serves until ctx is cancelled, then drains and returns. onReady, if
 // non-nil, receives the bound address once the listener is up (the tests
-// use it with a ":0" address).
-func run(ctx context.Context, addr string, cfg server.Config, drain time.Duration, logw io.Writer, onReady func(addr string)) error {
+// use it with a ":0" address). A non-empty snapshot path warms the cache
+// before listening — load failures are logged and skipped, never fatal,
+// so a corrupt snapshot cannot poison startup — and persists it after the
+// drain.
+func run(ctx context.Context, addr string, cfg server.Config, snapshot string, drain time.Duration, logw io.Writer, onReady func(addr string)) error {
 	srv := server.New(cfg)
+	if snapshot != "" {
+		if loaded, skipped, err := srv.Plans().LoadSnapshotFile(snapshot); err != nil {
+			fmt.Fprintf(logw, "cycled: skipping snapshot %s: %v\n", snapshot, err)
+		} else if loaded > 0 || skipped > 0 {
+			fmt.Fprintf(logw, "cycled: warmed %d plans from %s (%d skipped)\n", loaded, snapshot, skipped)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		srv.Close()
@@ -104,5 +124,15 @@ func run(ctx context.Context, addr string, cfg server.Config, drain time.Duratio
 	shutErr := hs.Shutdown(shutCtx)
 	<-errc // Serve has returned (http.ErrServerClosed)
 	srv.Close()
+	if snapshot != "" {
+		if err := srv.Plans().SaveSnapshotFile(snapshot); err != nil {
+			fmt.Fprintf(logw, "cycled: saving snapshot: %v\n", err)
+			if shutErr == nil {
+				shutErr = err
+			}
+		} else {
+			fmt.Fprintf(logw, "cycled: snapshot saved to %s\n", snapshot)
+		}
+	}
 	return shutErr
 }

@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"github.com/cyclecover/cyclecover/internal/bench"
+	"github.com/cyclecover/cyclecover/internal/cache"
 )
 
 func main() {
@@ -54,13 +55,11 @@ func main() {
 		os.Exit(1)
 	}
 	if *saveCache != "" {
-		f, err := os.Create(*saveCache)
-		if err == nil {
-			err = bench.SaveWarmSnapshot(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
+		// Atomic write: an interrupted run can never leave a truncated
+		// snapshot for the next warm start to trip over.
+		err := cache.WriteFileAtomic(*saveCache, func(f *os.File) error {
+			return bench.SaveWarmSnapshot(f)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: saving cache:", err)
 			os.Exit(1)

@@ -93,6 +93,10 @@ type (
 	LinkCriticality = survive.LinkCriticality
 	// Link identifies a ring link by its lower endpoint.
 	Link = ring.Link
+	// Delta is one bounded change to an instance's demand (add/remove a
+	// request, fail a pair, set a multiplicity) — the unit of incremental
+	// replanning consumed by Planner.PlanDelta.
+	Delta = instance.Delta
 )
 
 // NewRing returns the physical ring C_n (n ≥ 3).
@@ -139,6 +143,11 @@ func RandomInstance(n int, density float64, seed int64) (Instance, error) {
 func ParseInstance(n int, spec string) (Instance, error) {
 	return instance.Parse(n, spec)
 }
+
+// ParseDelta parses the compact delta spec shared by the CLI tools and
+// the cycled service: add:<u>:<v> | remove:<u>:<v> | fail:<u>:<v> |
+// set:<u>:<v>:<m>.
+func ParseDelta(spec string) (Delta, error) { return instance.ParseDelta(spec) }
 
 // CoverAllToAll constructs a DRC covering of K_n. optimal reports that the
 // covering provably has ρ(n) cycles (always true for odd n; true for even

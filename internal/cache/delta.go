@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/instance"
+	"github.com/cyclecover/cyclecover/internal/ring"
+	"github.com/cyclecover/cyclecover/internal/scratch"
+)
+
+// ErrUnknownParent reports that a delta's parent signature resolved to no
+// cached plan: the parent was never planned here, or has been evicted.
+// Retryable by planning the parent first.
+var ErrUnknownParent = errors.New("cache: unknown parent plan")
+
+// ErrBadDelta reports a delta that is invalid against its parent's demand
+// (endpoints out of range, removal from an absent pair, ...).
+var ErrBadDelta = errors.New("cache: invalid delta")
+
+// DeltaPlan is a resolved incremental replanning request: the cached
+// parent, the derived child instance, and the signatures binding both to
+// the cache. Produced by ResolveDelta, consumed by CoverDeltaCtx; the
+// embedded Parent covering and demand are shared with the cache and must
+// be treated as read-only.
+type DeltaPlan struct {
+	ParentSig string
+	Parent    CoverResult
+	Delta     instance.Delta
+	Child     instance.Instance
+	ChildSig  string
+	Opts      Options
+}
+
+// ResolveDelta resolves an incremental replanning request: it fetches the
+// parent plan by its canonical signature, applies the delta to the
+// parent's demand, and derives the child instance plus its cache
+// signature under the parent's own options (parsed back from the
+// signature, so a parent planned with a strategy or optimiser suffix
+// replans its children the same way). Errors wrap ErrUnknownParent or
+// ErrBadDelta so transports can map them to their 4xx table.
+func (p *Plans) ResolveDelta(parentSig string, d instance.Delta) (DeltaPlan, error) {
+	v, ok := p.coverings.Get(parentSig)
+	if !ok {
+		return DeltaPlan{}, fmt.Errorf("%w: no cached plan under signature %q", ErrUnknownParent, parentSig)
+	}
+	parent := v.(CoverResult)
+	if parent.Demand == nil {
+		return DeltaPlan{}, fmt.Errorf("%w: plan %q carries no demand provenance", ErrUnknownParent, parentSig)
+	}
+	childDemand, err := d.Apply(parent.Demand)
+	if err != nil {
+		return DeltaPlan{}, fmt.Errorf("%w: %v", ErrBadDelta, err)
+	}
+	opts := optionsFromSignature(parentSig)
+	child := instance.Instance{
+		Name:   fmt.Sprintf("%s + %s", parentSig, d),
+		Demand: childDemand,
+	}
+	return DeltaPlan{
+		ParentSig: parentSig,
+		Parent:    parent,
+		Delta:     d,
+		Child:     child,
+		ChildSig:  Signature(child, opts),
+		Opts:      opts,
+	}, nil
+}
+
+// optionsFromSignature recovers the Options encoded in a canonical
+// signature's suffix segments (see withOptions). Unknown segments are
+// ignored: they cannot have been produced by withOptions, and a parent
+// signature that resolved in the cache is canonical by construction.
+func optionsFromSignature(sig string) Options {
+	var opts Options
+	for _, seg := range strings.Split(sig, ";") {
+		switch {
+		case seg == "o=er":
+			opts.EliminateRedundant = true
+		case strings.HasPrefix(seg, "s="):
+			opts.Strategy = strings.TrimPrefix(seg, "s=")
+		}
+	}
+	return opts
+}
+
+// CoverDelta is CoverDeltaCtx under context.Background().
+func (p *Plans) CoverDelta(dp DeltaPlan) (CoverResult, bool, error) {
+	return p.CoverDeltaCtx(context.Background(), dp)
+}
+
+// CoverDeltaCtx plans the child of a resolved delta, warm-starting from
+// the parent covering and admitting the result under the child's own
+// canonical signature — so a later cold request for the same instance is
+// a cache hit, and concurrent delta or cold requests for the child
+// single-flight onto one computation. hit reports a served-from-cache or
+// joined-flight result. The repaired covering costs no more cycles than
+// a cold replan: the repair budget is the cold pipeline's (predicted or
+// measured) size, and when the search cannot converge within it the
+// build falls back to cold construction transparently.
+func (p *Plans) CoverDeltaCtx(ctx context.Context, dp DeltaPlan) (CoverResult, bool, error) {
+	if dp.Child.Demand == nil {
+		return CoverResult{}, false, fmt.Errorf("cache: delta plan has no child demand (zero-value DeltaPlan?)")
+	}
+	v, hit, err := p.coverings.DoCtx(ctx, dp.ChildSig, func(cctx context.Context) (any, error) {
+		return buildDelta(cctx, dp)
+	})
+	if err != nil {
+		return CoverResult{}, hit, err
+	}
+	res := v.(CoverResult)
+	res.Covering = res.Covering.Clone()
+	return res, hit, nil
+}
+
+// deltaScratches pools the warm-repair scratch state across delta builds,
+// keeping the steady-state repair path allocation-free.
+var deltaScratches = scratch.NewPool(construct.NewDeltaScratch)
+
+// buildDelta constructs the child covering, preferring warm repair of the
+// parent and falling back to the cold pipeline. Like buildCover, only
+// verified coverings are returned for admission.
+func buildDelta(ctx context.Context, dp DeltaPlan) (CoverResult, error) {
+	in := dp.Child
+	n := in.N()
+	r, err := ring.New(n)
+	if err != nil {
+		return CoverResult{}, err
+	}
+	// An explicit strategy is a contract about how the covering is built;
+	// warm repair would be a different constructor, so those parents
+	// replan their children cold through the same strategy.
+	if dp.Opts.Strategy != "" {
+		return buildCover(ctx, in, dp.Opts)
+	}
+	// Cold-cost target: predicted for uniform λ classes, measured by the
+	// greedy constructor otherwise (the greedy result then doubles as the
+	// precomputed fallback).
+	var fallback *cover.Covering
+	budget, predicted := construct.DeltaBudget(in.Demand)
+	if !predicted {
+		g, err := construct.GreedyCtx(ctx, r, in.Demand)
+		if err != nil {
+			return CoverResult{}, err
+		}
+		fallback = g
+		budget = g.Size()
+	}
+	sc := deltaScratches.Get()
+	repaired, ok := construct.DeltaRepair(ctx, r, dp.Parent.Covering, in.Demand, construct.DeltaOptions{
+		Budget:  budget,
+		Seed:    int64(n),
+		Scratch: sc,
+	})
+	var res CoverResult
+	if ok {
+		cv := repaired.CloneDetached()
+		deltaScratches.Put(sc)
+		cv.Canonicalize()
+		res = CoverResult{Covering: cv, Method: construct.MethodDelta}
+		// A repaired covering of K_n at exactly ρ(n) cycles is proved
+		// optimal by size alone (ρ is the paper's lower bound); the claim
+		// is re-checked below by the same verification buildCover uses.
+		if lam, uniform := construct.UniformLambda(in.Demand); uniform && lam == 1 && cv.Size() == cover.Rho(n) {
+			res.Optimal = true
+		}
+	} else {
+		deltaScratches.Put(sc)
+		if err := ctx.Err(); err != nil {
+			return CoverResult{}, err
+		}
+		if fallback == nil {
+			// Uniform λ child whose repair missed the predicted size:
+			// cold construction through the normal pipeline.
+			return buildCover(ctx, in, dp.Opts)
+		}
+		res = CoverResult{Covering: fallback, Method: construct.MethodGreedy}
+	}
+	if dp.Opts.EliminateRedundant {
+		construct.EliminateRedundant(res.Covering, in.Demand)
+	}
+	if err := cover.Verify(res.Covering, in.Demand); err != nil {
+		return CoverResult{}, fmt.Errorf("cache: refusing to cache unverified covering: %w", err)
+	}
+	res.Demand = in.Demand
+	return res, nil
+}

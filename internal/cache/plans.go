@@ -6,6 +6,7 @@ import (
 
 	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/instance"
 	"github.com/cyclecover/cyclecover/internal/ring"
 	"github.com/cyclecover/cyclecover/internal/wdm"
@@ -43,6 +44,11 @@ type CoverResult struct {
 	Method   construct.Method
 	// Optimal reports that the covering provably has ρ(n) cycles.
 	Optimal bool
+	// Demand is the demand graph the covering was verified against —
+	// the provenance that lets a cached entry serve as the parent of an
+	// incremental delta replan (ResolveDelta). It is shared with the
+	// cache and must be treated as read-only.
+	Demand *graph.Graph
 }
 
 // PlansStats snapshots both stores.
@@ -209,5 +215,6 @@ func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverR
 	if err := cover.Verify(res.Covering, in.Demand); err != nil {
 		return CoverResult{}, fmt.Errorf("cache: refusing to cache unverified covering: %w", err)
 	}
+	res.Demand = in.Demand
 	return res, nil
 }

@@ -125,5 +125,5 @@ func rebuildEntry(e snapshotEntry) (CoverResult, bool) {
 	} else {
 		optimal = false
 	}
-	return CoverResult{Covering: cv, Method: construct.Method(e.Method), Optimal: optimal}, true
+	return CoverResult{Covering: cv, Method: construct.Method(e.Method), Optimal: optimal, Demand: demand}, true
 }

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via temp-file + fsync + rename, so a
+// crash mid-write can never leave a truncated file at path: readers see
+// either the previous complete content or the new complete content. The
+// write callback streams the content; any of its errors (or a sync or
+// rename failure) aborts the operation, removes the temp file and leaves
+// path untouched. The containing directory is fsynced best-effort after
+// the rename so the new name itself survives a power loss.
+func WriteFileAtomic(path string, write func(w *os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("cache: syncing %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("cache: closing %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cache: renaming into place: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveSnapshotFile persists the cache's snapshot (SaveSnapshot) to path
+// atomically: a crash mid-save leaves the previous snapshot intact, never
+// a truncated file.
+func (p *Plans) SaveSnapshotFile(path string) error {
+	return WriteFileAtomic(path, func(f *os.File) error {
+		return p.SaveSnapshot(f)
+	})
+}
+
+// LoadSnapshotFile warms the cache from a snapshot file. A missing file
+// is not an error — a fresh deployment simply starts cold with
+// (0, 0, nil) — while an unreadable or malformed file is, so callers can
+// decide to log-and-skip rather than fail startup (see cmd/cycled).
+func (p *Plans) LoadSnapshotFile(path string) (loaded, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("cache: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return p.LoadSnapshot(f)
+}

@@ -38,6 +38,9 @@ const (
 	// strategy; inside the closed-form even path its converged results
 	// are reported as MethodExact for historical compatibility).
 	MethodRepair Method = "min-conflicts"
+	// MethodDelta is the incremental warm-start repair (DeltaRepair): a
+	// parent covering locally repaired after a bounded instance change.
+	MethodDelta Method = "delta-repair"
 )
 
 // Result is a constructed covering plus provenance.

@@ -1,0 +1,105 @@
+package construct
+
+import (
+	"context"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
+	"github.com/cyclecover/cyclecover/internal/ring"
+)
+
+// deltaFixture is the canonical warm-repair scenario the alloc pin and
+// the benchmarks share: an optimal covering of K_12 with its last cycle
+// deleted (the "surviving parent" after a failure took a cycle out),
+// repaired back into a full covering of K_12 within the cold budget
+// ρ(12).
+func deltaFixture(tb testing.TB) (ring.Ring, *cover.Covering, *graph.Graph, DeltaOptions) {
+	tb.Helper()
+	const n = 12
+	r := ring.MustNew(n)
+	parent, _, err := EvenCtx(context.Background(), n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if parent.Size() != cover.Rho(n) {
+		tb.Fatalf("K_%d base covering has %d cycles, want ρ = %d", n, parent.Size(), cover.Rho(n))
+	}
+	parent.Cycles = parent.Cycles[:len(parent.Cycles)-1]
+	demand := graph.Complete(n)
+	opts := DeltaOptions{
+		Budget:  cover.Rho(n),
+		Scratch: NewDeltaScratch(),
+	}
+	return r, parent, demand, opts
+}
+
+// TestDeltaRepairWarmZeroAllocs pins the tentpole's steady-state
+// contract: with a warm DeltaScratch, a full repair — seeding from the
+// parent, the min-conflicts walk, materialization, verification —
+// allocates nothing.
+func TestDeltaRepairWarmZeroAllocs(t *testing.T) {
+	r, parent, demand, opts := deltaFixture(t)
+	ctx := context.Background()
+	if _, ok := DeltaRepair(ctx, r, parent, demand, opts); !ok {
+		t.Fatal("warm-up repair did not converge")
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, ok := DeltaRepair(ctx, r, parent, demand, opts); !ok {
+			t.Error("repair stopped converging between runs")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm delta repair allocated %.2f/op, want 0", avg)
+	}
+}
+
+// TestDeltaRepairResultValid checks the fixture end to end: the repaired
+// covering verifies against the demand at exactly the cold budget.
+func TestDeltaRepairResultValid(t *testing.T) {
+	r, parent, demand, opts := deltaFixture(t)
+	cv, ok := DeltaRepair(context.Background(), r, parent, demand, opts)
+	if !ok {
+		t.Fatal("repair did not converge")
+	}
+	if cv.Size() != opts.Budget {
+		t.Fatalf("repaired size %d, want budget %d", cv.Size(), opts.Budget)
+	}
+	if err := cover.Verify(cv, demand); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaRepairScratchResultDetaches pins the aliasing contract in the
+// DeltaRepair doc: the returned covering lives in the scratch, a
+// CloneDetached copy survives the scratch's next use.
+func TestDeltaRepairScratchResultDetaches(t *testing.T) {
+	r, parent, demand, opts := deltaFixture(t)
+	cv, ok := DeltaRepair(context.Background(), r, parent, demand, opts)
+	if !ok {
+		t.Fatal("repair did not converge")
+	}
+	kept := cv.CloneDetached()
+	// Reuse the scratch; the detached clone must still verify.
+	if _, ok := DeltaRepair(context.Background(), r, parent, demand, opts); !ok {
+		t.Fatal("second repair did not converge")
+	}
+	if err := cover.Verify(kept, demand); err != nil {
+		t.Fatalf("detached clone corrupted by scratch reuse: %v", err)
+	}
+}
+
+// TestDeltaBudgetPrediction pins the cold-cost predictor for uniform
+// demand classes and its refusal elsewhere.
+func TestDeltaBudgetPrediction(t *testing.T) {
+	for _, n := range []int{6, 9, 12, 15} {
+		if got, ok := DeltaBudget(graph.Complete(n)); !ok || got != cover.Rho(n) {
+			t.Errorf("DeltaBudget(K_%d) = (%d, %v), want (%d, true)", n, got, ok, cover.Rho(n))
+		}
+	}
+	lam := graph.Complete(9)
+	lam.AddEdgeMulti(0, 1, 1) // no longer uniform
+	if _, ok := DeltaBudget(lam); ok {
+		t.Error("DeltaBudget accepted a non-uniform demand")
+	}
+}

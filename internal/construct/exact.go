@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/fanout"
 	"github.com/cyclecover/cyclecover/internal/ring"
 )
 
@@ -29,10 +30,14 @@ type ExactOptions struct {
 	// Parallelism bounds the worker pool that fans the first branch level
 	// out: each root candidate's subtree is searched independently, with
 	// cancellation of higher-index subtrees once a solution is found.
-	// 0 selects GOMAXPROCS; 1 forces the serial search. The result is
-	// deterministic whenever the search completes within NodeLimit: the
-	// surviving solution is the one the serial search would have found
-	// (lowest root-candidate index, identical DFS inside the subtree).
+	// 0 defers to the context's fan-out stamp (fanout.Limit) when one is
+	// present — inside a server pool job that is the job's fair share of
+	// the cores, so nested parallelism does not multiply — and GOMAXPROCS
+	// otherwise; 1 forces the serial search. The result is deterministic
+	// for every worker count whenever the search completes within
+	// NodeLimit: the surviving solution is the one the serial search would
+	// have found (lowest root-candidate index, identical DFS inside the
+	// subtree).
 	Parallelism int
 	// Bound, when non-nil, is a shared, live upper bound on useful
 	// covering size: the search only pursues coverings strictly smaller
@@ -120,7 +125,9 @@ func ExactCtx(ctx context.Context, n int, opts ExactOptions) ExactOutcome {
 	}
 	workers := opts.Parallelism
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		if workers = fanout.Limit(ctx); workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 	}
 	if workers == 1 {
 		s := stateFor(opts)

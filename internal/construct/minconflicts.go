@@ -5,11 +5,12 @@ import (
 	"math/rand"
 
 	"github.com/cyclecover/cyclecover/internal/cover"
+	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
 )
 
 // This file implements the fixed-budget repair search used by Even to hit
-// ρ(n) exactly. Two formulations share the engine:
+// ρ(n) exactly. Three formulations share the engine:
 //
 //   - full: the whole all-to-all instance is the universe (used for small
 //     n, where the space is small enough to converge quickly);
@@ -20,6 +21,11 @@ import (
 //     diameters — with candidate cycles whose every arc stays inside those
 //     classes. This shrinks the universe from Θ(n²) to Θ(n) pairs and
 //     makes the search scale to the full experiment sweep.
+//   - delta (DeltaRepair): the universe is an explicit demand multigraph —
+//     pair {u,v} must reach coverage demand.Mult(u,v) — and the search is
+//     warm-started from a surviving parent covering after a bounded
+//     instance change. The state is caller-owned scratch, so the warm
+//     path allocates nothing in steady state.
 //
 // Every produced covering is re-verified by the caller; a non-converged
 // search returns ok = false and never an invalid result.
@@ -29,9 +35,19 @@ type mcProblem struct {
 	r      ring.Ring
 	budget int     // fixed number of cycles
 	seed   [][]int // initial cycles; trimmed to budget from the end, padded with random triangles
+	// seedCov optionally continues the seed after the seed slice: its
+	// cycles are copied in order into the remaining budget slots. It lets
+	// warm-start callers seed from an existing covering without
+	// materializing a [][]int.
+	seedCov *cover.Covering
 	// allowed[d] reports whether pairs at ring distance d are part of the
 	// universe (and permitted inside candidate cycles); nil = everything.
 	allowed []bool
+	// demand switches the engine to multiplicity mode: the universe is
+	// exactly the demand's edges, and pair {u,v} counts as covered only
+	// once its coverage reaches demand.Mult(u,v). nil keeps the classic
+	// distance-class universe above (implicit multiplicity 1).
+	demand  *graph.Graph
 	iters   int
 	rngSeed int64
 }
@@ -44,21 +60,7 @@ const mcWalkProb = 0.08
 // stops the search well within a millisecond, reported as non-converged.
 func runMC(ctx context.Context, p mcProblem) ([][]int, bool) {
 	st := newMCState(p)
-	if st == nil {
-		return nil, false
-	}
-	done := ctx.Done()
-	for iter := 0; iter < p.iters && st.numUncovered > 0; iter++ {
-		if iter&255 == 0 {
-			select {
-			case <-done:
-				return nil, false
-			default:
-			}
-		}
-		st.step()
-	}
-	if st.numUncovered > 0 {
+	if !st.run(ctx, p.iters) {
 		return nil, false
 	}
 	out := make([][]int, len(st.cycles))
@@ -73,12 +75,75 @@ type mcCycle struct {
 	pairs []int
 }
 
+// mcRand is the randomness the min-conflicts search consumes. The
+// classic formulations bind it to *math/rand.Rand so their streams stay
+// bit-identical to the published constructions; the delta-repair path
+// binds it to xorshiftRand, whose reseed is two multiplies instead of
+// math/rand's 607-word state rebuild — reseeding dominated warm repair
+// before the split.
+type mcRand interface {
+	Seed(seed int64)
+	Intn(n int) int
+	Float64() float64
+	Perm(n int) []int
+}
+
+// xorshiftRand is a tiny xorshift64* generator behind mcRand. Quality is
+// ample for conflict-resolution tie-breaking, and both seeding and
+// drawing are a handful of word operations. Perm reuses an internal
+// buffer (valid until the next Perm call) to keep the warm repair path
+// allocation-free.
+type xorshiftRand struct {
+	s    uint64
+	perm []int
+}
+
+func (r *xorshiftRand) Seed(seed int64) {
+	// SplitMix64-style scramble; the state must never be zero.
+	r.s = uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if r.s == 0 {
+		r.s = 0x2545f4914f6cdd1d
+	}
+}
+
+func (r *xorshiftRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+func (r *xorshiftRand) Intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *xorshiftRand) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *xorshiftRand) Perm(n int) []int {
+	if cap(r.perm) < n {
+		r.perm = make([]int, n)
+	}
+	p := r.perm[:n]
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
 type mcState struct {
 	r   ring.Ring
 	n   int
-	rng *rand.Rand
+	rng mcRand
 
-	allowed  []bool
+	allowed []bool
+	// need[p] is the required coverage of pair p when useNeed is set;
+	// pairs with need 0 are outside the universe. The classic formulations
+	// leave useNeed false: universe membership is the allowed distance
+	// classes and every universe pair needs coverage exactly once.
+	need     []int
+	useNeed  bool
 	gapOK    []int // allowed clockwise gaps (both orientations of allowed dists)
 	cycles   []mcCycle
 	coverage []int
@@ -94,25 +159,91 @@ type mcState struct {
 	cands     []mcCandidate
 	candVerts []int
 	candPairs []int
+
+	// victims and randBuf are per-step return buffers for pickVictims and
+	// randomCycle, reused so the hot loop allocates nothing.
+	victims []int
+	randBuf [3]int
 }
 
+// newMCState allocates a state and initialises it for p. Reusable callers
+// (DeltaScratch) keep one mcState and call init directly.
 func newMCState(p mcProblem) *mcState {
-	n := p.r.N()
-	st := &mcState{
-		r:            p.r,
-		n:            n,
-		rng:          rand.New(rand.NewSource(p.rngSeed)),
-		allowed:      p.allowed,
-		coverage:     make([]int, n*n),
-		uncoveredPos: make([]int, n*n),
+	st := &mcState{}
+	st.init(p)
+	return st
+}
+
+// resizeInts returns s with length n, reusing its storage when the
+// capacity suffices. Contents are unspecified; callers reset what they
+// need.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
 	}
+	return s[:n]
+}
+
+// init (re)initialises the state for a fresh problem, reusing every
+// buffer the state has already grown: after a warm-up run on the same
+// ring size, initialising and running a new problem allocates nothing.
+func (st *mcState) init(p mcProblem) {
+	n := p.r.N()
+	st.r = p.r
+	st.n = n
+	// The delta path (need-mode) reseeds on every repair attempt, so it
+	// gets the cheap generator; the classic paths keep math/rand and its
+	// pinned streams. A state is only ever reused within one mode.
+	if p.demand != nil {
+		if st.rng == nil {
+			st.rng = new(xorshiftRand)
+		}
+		st.rng.Seed(p.rngSeed)
+	} else if st.rng == nil {
+		st.rng = rand.New(rand.NewSource(p.rngSeed))
+	} else {
+		st.rng.Seed(p.rngSeed)
+	}
+	st.allowed = p.allowed
+	st.coverage = resizeInts(st.coverage, n*n)
+	for i := range st.coverage {
+		st.coverage[i] = 0
+	}
+	st.uncoveredPos = resizeInts(st.uncoveredPos, n*n)
 	for i := range st.uncoveredPos {
 		st.uncoveredPos[i] = -1
 	}
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if st.inUniverse(u, v) {
-				st.markUncovered(u*n + v)
+	st.uncovered = st.uncovered[:0]
+	st.numUncovered = 0
+	st.gapOK = st.gapOK[:0]
+	st.cands = st.cands[:0]
+	st.candVerts = st.candVerts[:0]
+	st.candPairs = st.candPairs[:0]
+	st.victims = st.victims[:0]
+
+	st.useNeed = p.demand != nil
+	if st.useNeed {
+		st.need = resizeInts(st.need, n*n)
+		for i := range st.need {
+			st.need[i] = 0
+		}
+		// Direct Mult probes, not ForEachEdge: the callback closure would
+		// escape and cost the warm path its only allocation.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				m := p.demand.Mult(u, v)
+				st.need[u*n+v] = m
+				if m > 0 {
+					st.markUncovered(u*n + v)
+				}
+			}
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if st.inUniverse(u, v) {
+					st.markUncovered(u*n + v)
+				}
 			}
 		}
 	}
@@ -121,14 +252,37 @@ func newMCState(p mcProblem) *mcState {
 			st.gapOK = append(st.gapOK, g)
 		}
 	}
+
+	// Reuse retained cycle slots: reviving a slot within capacity keeps
+	// its verts/pairs buffers for attach to refill.
+	st.cycles = st.cycles[:0]
 	for i := 0; i < p.budget; i++ {
-		if i < len(p.seed) {
+		switch {
+		case i < len(p.seed):
 			st.addCycle(p.seed[i])
-			continue
+		case p.seedCov != nil && i-len(p.seed) < len(p.seedCov.Cycles):
+			st.addCycle(p.seedCov.Cycles[i-len(p.seed)].Vertices())
+		default:
+			st.addCycle(st.randomCycle())
 		}
-		st.addCycle(st.randomCycle())
 	}
-	return st
+}
+
+// run drives the search loop until convergence, iteration exhaustion or
+// cancellation, reporting whether the universe ended fully covered.
+func (st *mcState) run(ctx context.Context, iters int) bool {
+	done := ctx.Done()
+	for iter := 0; iter < iters && st.numUncovered > 0; iter++ {
+		if iter&255 == 0 {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
+		st.step()
+	}
+	return st.numUncovered == 0
 }
 
 func (st *mcState) distAllowed(d int) bool {
@@ -143,7 +297,8 @@ func (st *mcState) inUniverse(u, v int) bool {
 }
 
 // randomCycle pads the seed: a random allowed triangle if the class
-// restriction permits one, otherwise a random triangle.
+// restriction permits one, otherwise a random triangle. The returned
+// slice is the state's reusable buffer — valid until the next call.
 func (st *mcState) randomCycle() []int {
 	for attempt := 0; attempt < 64; attempt++ {
 		u := st.rng.Intn(st.n)
@@ -156,12 +311,14 @@ func (st *mcState) randomCycle() []int {
 		if !st.distAllowed(min(rest, st.n-rest)) {
 			continue
 		}
-		vs := []int{u, st.r.Norm(u + g1), st.r.Norm(u + g1 + g2)}
+		vs := st.randBuf[:3]
+		vs[0], vs[1], vs[2] = u, st.r.Norm(u+g1), st.r.Norm(u+g1+g2)
 		ring.SortByRingOrder(vs)
 		return vs
 	}
 	perm := st.rng.Perm(st.n)
-	vs := []int{perm[0], perm[1], perm[2]}
+	vs := st.randBuf[:3]
+	vs[0], vs[1], vs[2] = perm[0], perm[1], perm[2]
 	ring.SortByRingOrder(vs)
 	return vs
 }
@@ -196,13 +353,25 @@ func (st *mcState) markCovered(idx int) {
 	st.numUncovered--
 }
 
+// addCycle appends a cycle, reviving a retained slot (with its buffers)
+// when the backing array still has capacity from an earlier run.
 func (st *mcState) addCycle(verts []int) {
-	st.cycles = append(st.cycles, mcCycle{})
+	if len(st.cycles) < cap(st.cycles) {
+		st.cycles = st.cycles[:len(st.cycles)+1]
+	} else {
+		st.cycles = append(st.cycles, mcCycle{})
+	}
 	st.attach(len(st.cycles)-1, verts)
 }
 
 func (st *mcState) cover(p int) {
 	st.coverage[p]++
+	if st.useNeed {
+		if st.coverage[p] >= st.need[p] {
+			st.markCovered(p)
+		}
+		return
+	}
 	// Pairs outside the universe carry coverage counts too (harmless);
 	// only universe pairs are in the uncovered set.
 	st.markCovered(p)
@@ -210,6 +379,12 @@ func (st *mcState) cover(p int) {
 
 func (st *mcState) uncover(p int) {
 	st.coverage[p]--
+	if st.useNeed {
+		if st.need[p] > 0 && st.coverage[p] < st.need[p] {
+			st.markUncovered(p)
+		}
+		return
+	}
 	if st.coverage[p] == 0 {
 		u, v := p/st.n, p%st.n
 		if st.inUniverse(u, v) {
@@ -252,9 +427,17 @@ func (st *mcState) attach(i int, verts []int) {
 	}
 }
 
+// loss counts the universe pairs that would fall below their requirement
+// if cycle i were detached.
 func (st *mcState) loss(i int) int {
 	l := 0
 	for _, p := range st.cycles[i].pairs {
+		if st.useNeed {
+			if st.need[p] > 0 && st.coverage[p] == st.need[p] {
+				l++
+			}
+			continue
+		}
 		if st.coverage[p] == 1 {
 			u, v := p/st.n, p%st.n
 			if st.inUniverse(u, v) {
@@ -265,9 +448,17 @@ func (st *mcState) loss(i int) int {
 	return l
 }
 
+// gain counts the uncovered universe pairs the candidate would push up to
+// their requirement.
 func (st *mcState) gain(c mcCandidate) int {
 	g := 0
 	for _, p := range st.candPairs[c.off : c.off+c.k] {
+		if st.useNeed {
+			if st.need[p] > 0 && st.coverage[p] == st.need[p]-1 {
+				g++
+			}
+			continue
+		}
 		if st.coverage[p] == 0 {
 			u, v := p/st.n, p%st.n
 			if st.inUniverse(u, v) {
@@ -368,20 +559,25 @@ func (st *mcState) pushCandidate(verts []int) {
 	st.cands = append(st.cands, mcCandidate{off: off, k: k})
 }
 
+// pickVictims returns the victim cycle indices for this step in the
+// state's reusable buffer — valid until the next call.
 func (st *mcState) pickVictims() []int {
+	st.victims = st.victims[:0]
 	// Endgame: with only a few pairs left, the winning swap may involve a
 	// mid-loss cycle that the lowest-loss shortcut never offers. Scan
 	// everything occasionally — doing it every step would dominate the
 	// run, since the search spends most of its time near the end.
 	if st.numUncovered <= 4 && st.rng.Intn(16) == 0 {
-		all := make([]int, len(st.cycles))
-		for i := range all {
-			all[i] = i
+		for i := range st.cycles {
+			st.victims = append(st.victims, i)
 		}
-		return all
+		return st.victims
 	}
 	if st.rng.Float64() < mcWalkProb {
-		return []int{st.rng.Intn(len(st.cycles))}
+		// Store the grown slice back: a returned-only append never teaches
+		// st.victims its capacity, costing one allocation per call.
+		st.victims = append(st.victims, st.rng.Intn(len(st.cycles)))
+		return st.victims
 	}
 	best1, best2 := -1, -1
 	loss1, loss2 := 1<<30, 1<<30
@@ -404,9 +600,11 @@ func (st *mcState) pickVictims() []int {
 		}
 	}
 	if best2 == -1 {
-		return []int{best1}
+		st.victims = append(st.victims, best1)
+	} else {
+		st.victims = append(st.victims, best1, best2)
 	}
-	return []int{best1, best2}
+	return st.victims
 }
 
 // ---------------------------------------------------------------------

@@ -165,6 +165,20 @@ func (cv *Covering) Clone() *Covering {
 	return out
 }
 
+// CloneDetached returns a deep copy whose cycles own fresh vertex
+// storage. Clone is sufficient for coverings built from immutable cycles
+// (NewCycle copies its input); a covering materialized over reusable
+// scratch buffers (CycleFromSortedVerts) must be detached before it
+// outlives the scratch — e.g. before admission to a cache.
+func (cv *Covering) CloneDetached() *Covering {
+	out := NewCovering(cv.Ring)
+	out.Cycles = make([]Cycle, len(cv.Cycles))
+	for i, c := range cv.Cycles {
+		out.Cycles[i] = Cycle{verts: append([]int(nil), c.verts...)}
+	}
+	return out
+}
+
 // Dedup removes cycles with identical vertex sets, keeping first
 // occurrences and preserving order.
 func (cv *Covering) Dedup() {

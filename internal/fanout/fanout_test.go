@@ -1,0 +1,48 @@
+package fanout
+
+import (
+	"context"
+	"testing"
+)
+
+func TestShare(t *testing.T) {
+	cases := []struct {
+		cores, running, want int
+	}{
+		{8, 1, 8},  // lone job gets the machine
+		{8, 2, 4},  // two jobs split it
+		{8, 3, 2},  // integer share, rounded down
+		{8, 8, 1},  // saturated pool: serial jobs
+		{8, 20, 1}, // oversubscribed queue: still serial, never zero
+		{1, 1, 1},  // 1-vCPU host: always serial
+		{1, 4, 1},
+		{4, 0, 4}, // defensive: "no jobs" counts as one
+		{4, -1, 4},
+	}
+	for _, c := range cases {
+		if got := Share(c.cores, c.running); got != c.want {
+			t.Errorf("Share(%d, %d) = %d, want %d", c.cores, c.running, got, c.want)
+		}
+	}
+}
+
+func TestWithLimit(t *testing.T) {
+	ctx := context.Background()
+	if got := Limit(ctx); got != 0 {
+		t.Fatalf("unstamped context Limit = %d, want 0", got)
+	}
+	if got := Limit(With(ctx, 3)); got != 3 {
+		t.Fatalf("Limit(With(ctx, 3)) = %d, want 3", got)
+	}
+	// Sub-serial requests clamp to 1, so a stamped context is always usable.
+	if got := Limit(With(ctx, 0)); got != 1 {
+		t.Fatalf("Limit(With(ctx, 0)) = %d, want 1", got)
+	}
+	if got := Limit(With(ctx, -5)); got != 1 {
+		t.Fatalf("Limit(With(ctx, -5)) = %d, want 1", got)
+	}
+	// The innermost stamp wins, as nested pools would expect.
+	if got := Limit(With(With(ctx, 4), 2)); got != 2 {
+		t.Fatalf("nested stamp Limit = %d, want 2", got)
+	}
+}

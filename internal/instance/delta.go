@@ -1,0 +1,149 @@
+package instance
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/cyclecover/cyclecover/internal/graph"
+)
+
+// DeltaKind enumerates the bounded instance changes a Delta can express.
+type DeltaKind string
+
+// The supported change kinds. All act on the logical demand layer — a
+// physical single-link failure needs no replanning at all (the covering's
+// protection handles it, see package survive); Fail models the logical
+// consequence of losing a lightpath's endpoints permanently.
+const (
+	// DeltaAdd adds one request between U and V (multiplicity +1).
+	DeltaAdd DeltaKind = "add"
+	// DeltaRemove removes one request between U and V (multiplicity −1);
+	// removing from an absent pair is invalid.
+	DeltaRemove DeltaKind = "remove"
+	// DeltaFail drops the pair {U, V} entirely, whatever its
+	// multiplicity: the logical link has failed and is no longer served.
+	DeltaFail DeltaKind = "fail"
+	// DeltaSet sets the pair's multiplicity to M exactly.
+	DeltaSet DeltaKind = "set"
+)
+
+// Delta is one bounded change to an instance's demand: the unit of
+// incremental replanning. Apply derives the child demand; the planner
+// then repairs the parent covering toward it instead of replanning cold.
+type Delta struct {
+	Kind DeltaKind
+	U, V int
+	// M is the target multiplicity; meaningful for DeltaSet only.
+	M int
+}
+
+// ParseDelta parses the compact delta spec shared by the CLI and the
+// cycled service:
+//
+//	add:<u>:<v>      one more request between u and v
+//	remove:<u>:<v>   one request fewer between u and v
+//	fail:<u>:<v>     the pair is dropped entirely
+//	set:<u>:<v>:<m>  the pair's multiplicity becomes exactly m
+//
+// Vertex bounds are checked against the instance at Apply time, not
+// here: the spec alone does not know n.
+func ParseDelta(spec string) (Delta, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (Delta, error) {
+		return Delta{}, fmt.Errorf("bad delta spec %q: want add:<u>:<v>, remove:<u>:<v>, fail:<u>:<v>, or set:<u>:<v>:<m>", spec)
+	}
+	if len(parts) < 3 {
+		return bad()
+	}
+	u, err1 := strconv.Atoi(parts[1])
+	v, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return bad()
+	}
+	d := Delta{U: u, V: v}
+	switch DeltaKind(parts[0]) {
+	case DeltaAdd, DeltaRemove, DeltaFail:
+		if len(parts) != 3 {
+			return bad()
+		}
+		d.Kind = DeltaKind(parts[0])
+	case DeltaSet:
+		if len(parts) != 4 {
+			return bad()
+		}
+		m, err := strconv.Atoi(parts[3])
+		if err != nil || m < 0 || m > MaxParseLambda {
+			return Delta{}, fmt.Errorf("bad delta spec %q: multiplicity must be an integer in [0, %d]", spec, MaxParseLambda)
+		}
+		d.Kind = DeltaSet
+		d.M = m
+	default:
+		return bad()
+	}
+	return d, nil
+}
+
+// String renders the delta in its spec form.
+func (d Delta) String() string {
+	if d.Kind == DeltaSet {
+		return fmt.Sprintf("%s:%d:%d:%d", d.Kind, d.U, d.V, d.M)
+	}
+	return fmt.Sprintf("%s:%d:%d", d.Kind, d.U, d.V)
+}
+
+// Apply derives the child demand: a fresh copy of parent with the delta
+// applied. The parent is never mutated. Errors describe why the delta is
+// invalid against this parent (endpoints out of range, removal from an
+// absent pair) — the server's 400 table relies on these being errors
+// rather than silent no-ops.
+func (d Delta) Apply(parent *graph.Graph) (*graph.Graph, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("instance: delta %s applied to nil demand", d)
+	}
+	n := parent.N()
+	if d.U < 0 || d.U >= n || d.V < 0 || d.V >= n {
+		return nil, fmt.Errorf("instance: delta %s endpoints outside [0, %d)", d, n)
+	}
+	if d.U == d.V {
+		return nil, fmt.Errorf("instance: delta %s is a self-request", d)
+	}
+	child := parent.Clone()
+	switch d.Kind {
+	case DeltaAdd:
+		if child.Mult(d.U, d.V) >= MaxParseLambda {
+			return nil, fmt.Errorf("instance: delta %s exceeds maximum multiplicity %d", d, MaxParseLambda)
+		}
+		child.AddEdge(d.U, d.V)
+	case DeltaRemove:
+		if !child.RemoveEdge(d.U, d.V) {
+			return nil, fmt.Errorf("instance: delta %s removes an absent pair", d)
+		}
+	case DeltaFail:
+		for child.RemoveEdge(d.U, d.V) {
+		}
+	case DeltaSet:
+		cur := child.Mult(d.U, d.V)
+		switch {
+		case d.M > cur:
+			child.AddEdgeMulti(d.U, d.V, d.M-cur)
+		case d.M < cur:
+			for i := 0; i < cur-d.M; i++ {
+				child.RemoveEdge(d.U, d.V)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("instance: unknown delta kind %q", d.Kind)
+	}
+	return child, nil
+}
+
+// ApplyTo derives the child instance from a parent instance, naming it
+// after the parent and the delta.
+func (d Delta) ApplyTo(parent Instance) (Instance, error) {
+	child, err := d.Apply(parent.Demand)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: fmt.Sprintf("%s + %s", parent.Name, d), Demand: child}, nil
+}

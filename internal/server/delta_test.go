@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deltaBody is the response shape the tests decode.
+type deltaBody struct {
+	Signature string  `json:"signature"`
+	N         int     `json:"n"`
+	Demand    string  `json:"demand"`
+	Size      int     `json:"size"`
+	Method    string  `json:"method"`
+	Cycles    [][]int `json:"cycles"`
+	Parent    string  `json:"parent"`
+	Delta     string  `json:"delta"`
+	Repaired  bool    `json:"repaired"`
+	CacheHit  bool    `json:"cacheHit"`
+	Error     string  `json:"error"`
+}
+
+// planSignature plans n all-to-all through the HTTP surface and returns
+// the signature the response echoed — the handle /plan/delta accepts.
+func planSignature(t *testing.T, base string, n int) string {
+	t.Helper()
+	resp, body := get(t, base+"/plan?n="+strconv.Itoa(n))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plan?n=%d status %d: %s", n, resp.StatusCode, body)
+	}
+	var plan struct {
+		Signature string `json:"signature"`
+	}
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Signature == "" {
+		t.Fatal("/plan response carried no signature")
+	}
+	return plan.Signature
+}
+
+// TestPlanDeltaRepairsAndAdmitsChild drives the happy path end to end:
+// plan a parent, POST a delta, get back a verified child plan produced by
+// warm repair, and observe the child admitted under its own signature —
+// a second identical delta answers from cache, as does a cold /plan of
+// the same child signature's instance.
+func TestPlanDeltaRepairsAndAdmitsChild(t *testing.T) {
+	_, ts := newTestServer(t)
+	parent := planSignature(t, ts.URL, 11)
+
+	resp, body := postJSON(t, ts.URL+"/plan/delta", map[string]string{
+		"parent": parent, "delta": "fail:2:7",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var db deltaBody
+	if err := json.Unmarshal(body, &db); err != nil {
+		t.Fatalf("bad JSON: %v (%s)", err, body)
+	}
+	if db.Parent != parent || db.Delta != "fail:2:7" {
+		t.Fatalf("provenance mismatch: %+v", db)
+	}
+	if db.N != 11 || db.Signature == "" || db.Signature == parent {
+		t.Fatalf("child identity bogus: %+v", db)
+	}
+	if !db.Repaired || db.Method != "delta-repair" {
+		t.Fatalf("single-link delta on K_11 should warm-repair: method=%q repaired=%v", db.Method, db.Repaired)
+	}
+	if db.Size == 0 || len(db.Cycles) != db.Size {
+		t.Fatalf("plan body inconsistent: size=%d cycles=%d", db.Size, len(db.Cycles))
+	}
+	if db.CacheHit {
+		t.Fatal("first delta cannot be a cache hit")
+	}
+
+	// Same delta again: the child is now cached under its own signature.
+	resp, body = postJSON(t, ts.URL+"/plan/delta", map[string]string{
+		"parent": parent, "delta": "fail:2:7",
+	})
+	var again deltaBody
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !again.CacheHit || resp.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("repeat delta should hit the cache: status=%d cacheHit=%v x-cache=%q",
+			resp.StatusCode, again.CacheHit, resp.Header.Get("X-Cache"))
+	}
+	if again.Size != db.Size || again.Signature != db.Signature {
+		t.Fatalf("cached child differs from first answer: %+v vs %+v", again, db)
+	}
+}
+
+// TestPlanDeltaErrorTable is the 400 table pinned by the issue: method,
+// body, field, spec, unknown-parent and invalid-delta failures all answer
+// structured client errors, never 500.
+func TestPlanDeltaErrorTable(t *testing.T) {
+	_, ts := newTestServer(t)
+	parent := planSignature(t, ts.URL, 9)
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, _ := get(t, ts.URL+"/plan/delta")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "POST" {
+			t.Fatalf("Allow = %q, want POST", allow)
+		}
+	})
+
+	cases := []struct {
+		name    string
+		body    any
+		wantErr string
+	}{
+		{"malformed JSON", "{not json", "bad delta request"},
+		{"missing parent", map[string]string{"delta": "add:0:1"}, "missing required field parent"},
+		{"missing delta", map[string]string{"parent": parent}, "missing required field delta"},
+		{"unparseable delta", map[string]string{"parent": parent, "delta": "tweak:1:2"}, "delta"},
+		{"delta endpoint out of range", map[string]string{"parent": parent, "delta": "add:0:99"}, "delta"},
+		{"removing an absent pair", map[string]string{"parent": parent, "delta": "remove:0:0"}, ""},
+		{"unknown parent", map[string]string{"parent": "n=99;d=k1", "delta": "add:0:1"}, "unknown parent"},
+		{"garbage parent", map[string]string{"parent": "what", "delta": "add:0:1"}, "unknown parent"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if s, ok := c.body.(string); ok {
+				r, err := http.Post(ts.URL+"/plan/delta", "application/json", strings.NewReader(s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, rerr := io.ReadAll(r.Body)
+				r.Body.Close()
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				resp, body = r, b
+			} else {
+				resp, body = postJSON(t, ts.URL+"/plan/delta", c.body)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d (%s), want 400", resp.StatusCode, body)
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Fatalf("400 body not a structured error: %s", body)
+			}
+			if c.wantErr != "" && !strings.Contains(eb.Error, c.wantErr) {
+				t.Fatalf("error %q does not mention %q", eb.Error, c.wantErr)
+			}
+		})
+	}
+
+	// A delta that empties the demand entirely is still plannable (the
+	// empty covering), not an error — pin that it answers 200.
+	t.Run("delta to near-empty demand ok", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/plan/delta", map[string]string{
+			"parent": parent, "delta": "set:0:1:0",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("set:0:1:0 status = %d (%s), want 200", resp.StatusCode, body)
+		}
+	})
+}

@@ -1,6 +1,6 @@
 // Package server exposes the planner over HTTP/JSON: /plan, /plan/batch,
-// /simulate and /verify for the work itself, /healthz and /metrics for
-// operations.
+// /plan/delta, /simulate and /verify for the work itself, /healthz and
+// /metrics for operations.
 // Requests are executed by a bounded worker pool that batches same-signature requests
 // — while a signature is queued or running, later requests for it attach
 // to the existing job instead of occupying another worker — and results
@@ -13,6 +13,8 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+
+	"github.com/cyclecover/cyclecover/internal/fanout"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -37,6 +39,11 @@ type Pool struct {
 	closed    bool
 	executed  uint64
 	coalesced uint64
+	// running counts jobs currently executing on a worker. It drives the
+	// per-job fan-out stamp: each job gets its fair share of the cores
+	// (fanout.Share), so nested parallel stages — the exact search, the
+	// failure sweeps — stop multiplying by GOMAXPROCS under a busy pool.
+	running int
 }
 
 type poolJob struct {
@@ -176,7 +183,17 @@ func (p *Pool) worker() {
 			if j.ctx.Err() != nil {
 				j.err = j.ctx.Err()
 			} else {
-				j.val, j.err = j.run(j.ctx)
+				// Stamp the job's context with its fair share of the cores
+				// given current pool occupancy: a lone job may fan out over
+				// the whole machine, jobs on a saturated pool run serially.
+				p.mu.Lock()
+				p.running++
+				share := fanout.Share(runtime.GOMAXPROCS(0), p.running)
+				p.mu.Unlock()
+				j.val, j.err = j.run(fanout.With(j.ctx, share))
+				p.mu.Lock()
+				p.running--
+				p.mu.Unlock()
 			}
 			j.cancel()
 			p.mu.Lock()

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/fanout"
+)
+
+// TestPoolStampsFanOutShare verifies that every pool job runs under a
+// context stamped with its fair share of the cores, and that the share
+// shrinks with pool occupancy: of two jobs verified to run concurrently,
+// the one stamped second saw occupancy 2 and got at most half the
+// machine. On a single-core host both shares are 1, which the bounds
+// below still pin.
+func TestPoolStampsFanOutShare(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	p := NewPool(2, 4)
+	defer p.Close()
+
+	// Both jobs hold at a barrier until the other has started, so the
+	// later-stamped one is guaranteed to have observed occupancy 2.
+	var started sync.WaitGroup
+	started.Add(2)
+	release := make(chan struct{})
+	shares := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		sig := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			_, err := p.Submit(context.Background(), sig, func(jctx context.Context) (any, error) {
+				shares <- fanout.Limit(jctx)
+				started.Done()
+				<-release
+				return nil, nil
+			})
+			if err != nil {
+				t.Errorf("Submit(%s): %v", sig, err)
+			}
+		}()
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	close(shares)
+
+	var got []int
+	min := cores + 1
+	for s := range shares {
+		got = append(got, s)
+		if s < 1 || s > cores {
+			t.Fatalf("job stamped with share %d, want within [1, %d]", s, cores)
+		}
+		if s < min {
+			min = s
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("saw %d stamped jobs, want 2", len(got))
+	}
+	if want := fanout.Share(cores, 2); min > want {
+		t.Fatalf("concurrent jobs stamped %v; the later one should get ≤ %d", got, want)
+	}
+}

@@ -121,6 +121,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/plan/batch", s.handlePlanBatch)
+	s.mux.HandleFunc("/plan/delta", s.handlePlanDelta)
 	s.mux.HandleFunc("/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/verify", s.handleVerify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)

@@ -92,6 +92,16 @@ func parseSweepOptions(r *http.Request, links int) (survive.SweepOptions, error)
 	return opts, nil
 }
 
+// simulateJobSig keys a /simulate pool job: the plan's cache signature
+// plus the normalized sweep parameters. Because parseSweepOptions resets
+// the sampler fields for exhaustive (k ≤ 2) sweeps, two k ≤ 2 requests
+// that differ only in sample/seed produce the same key and coalesce onto
+// one job; for k ≥ 3 the sampler parameters are part of the scenario set
+// and therefore of the key.
+func simulateJobSig(planSig string, opts survive.SweepOptions) string {
+	return fmt.Sprintf("%s;sim:k=%d,sample=%d,seed=%d", planSig, opts.K, opts.Sample, opts.Seed)
+}
+
 // simulated bundles what one /simulate pool job computes.
 type simulated struct {
 	resp simulateResponse
@@ -164,7 +174,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	opts := cache.Options{Strategy: strategy}
 	planSig := cache.Signature(in, opts)
-	sig := fmt.Sprintf("%s;sim:k=%d,sample=%d,seed=%d", planSig, sweepOpts.K, sweepOpts.Sample, sweepOpts.Seed)
+	sig := simulateJobSig(planSig, sweepOpts)
 	v, err := s.pool.Submit(ctx, sig, func(jctx context.Context) (any, error) {
 		nw, hit, err := s.plans.NetworkCtx(jctx, in, opts)
 		if err != nil {

@@ -248,3 +248,138 @@ func TestSimulateTimeout504(t *testing.T) {
 		t.Fatalf("fast simulate after timeout: %d (%s)", resp.StatusCode, body)
 	}
 }
+
+// TestParseSweepOptionsNormalization is the table over the /simulate
+// sweep parameters: defaults, bounds, and the k ≤ 2 rule that resets the
+// sampler fields (sample, seed) — exhaustive sweeps ignore the sampler,
+// so its parameters must not differentiate otherwise-identical requests.
+func TestParseSweepOptionsNormalization(t *testing.T) {
+	const links = 11
+	cases := []struct {
+		name  string
+		query string
+		want  struct {
+			k      int
+			sample int
+			seed   int64
+		}
+		wantErr string
+	}{
+		{name: "defaults", query: "",
+			want: struct {
+				k      int
+				sample int
+				seed   int64
+			}{1, DefaultSweepSample, 0}},
+		{name: "k1 sampler params normalized away", query: "k=1&sample=99&seed=7",
+			want: struct {
+				k      int
+				sample int
+				seed   int64
+			}{1, DefaultSweepSample, 0}},
+		{name: "k2 sampler params normalized away", query: "k=2&sample=8192&seed=-3",
+			want: struct {
+				k      int
+				sample int
+				seed   int64
+			}{2, DefaultSweepSample, 0}},
+		{name: "k3 defaults", query: "k=3",
+			want: struct {
+				k      int
+				sample int
+				seed   int64
+			}{3, DefaultSweepSample, 0}},
+		{name: "k3 sampler params preserved", query: "k=3&sample=99&seed=7",
+			want: struct {
+				k      int
+				sample int
+				seed   int64
+			}{3, 99, 7}},
+		{name: "k zero", query: "k=0", wantErr: "outside"},
+		{name: "k above service cap", query: "k=7", wantErr: "outside"},
+		{name: "k not a number", query: "k=two", wantErr: "bad k"},
+		{name: "sample zero", query: "k=3&sample=0", wantErr: "outside"},
+		{name: "sample above cap", query: "k=3&sample=8193", wantErr: "outside"},
+		{name: "sample not a number", query: "k=3&sample=lots", wantErr: "bad sample"},
+		{name: "seed not a number", query: "k=3&seed=x", wantErr: "bad seed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := httptest.NewRequest(http.MethodGet, "/simulate?n=11&"+c.query, nil)
+			opts, err := parseSweepOptions(r, links)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opts.K != c.want.k || opts.Sample != c.want.sample || opts.Seed != c.want.seed {
+				t.Fatalf("normalized to k=%d sample=%d seed=%d, want k=%d sample=%d seed=%d",
+					opts.K, opts.Sample, opts.Seed, c.want.k, c.want.sample, c.want.seed)
+			}
+			if opts.MaxScenarios != MaxSweepScenarios {
+				t.Fatalf("MaxScenarios = %d, want service cap %d", opts.MaxScenarios, MaxSweepScenarios)
+			}
+		})
+	}
+
+	// k is also bounded by the link count, below the service cap.
+	r := httptest.NewRequest(http.MethodGet, "/simulate?n=4&k=5", nil)
+	if _, err := parseSweepOptions(r, 4); err == nil {
+		t.Fatal("k above the link count must be rejected")
+	}
+}
+
+// TestSimulateJobSigCoalescing pins the coalescing contract: the pool
+// key is built from the *normalized* options, so two exhaustive (k ≤ 2)
+// requests that differ only in sampler parameters provably share one
+// pool job, while k ≥ 3 requests with different seeds provably do not.
+func TestSimulateJobSigCoalescing(t *testing.T) {
+	const planSig = "n=11;d=k1"
+	sigFor := func(query string) string {
+		t.Helper()
+		r := httptest.NewRequest(http.MethodGet, "/simulate?n=11&"+query, nil)
+		opts, err := parseSweepOptions(r, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return simulateJobSig(planSig, opts)
+	}
+	if a, b := sigFor("k=2&seed=1"), sigFor("k=2&seed=2&sample=99"); a != b {
+		t.Fatalf("exhaustive sweeps with different sampler params must coalesce: %q != %q", a, b)
+	}
+	if a, b := sigFor("k=3&seed=1"), sigFor("k=3&seed=2"); a == b {
+		t.Fatalf("sampled sweeps with different seeds must not coalesce: both %q", a)
+	}
+	if a, b := sigFor("k=3&sample=64"), sigFor("k=3&sample=128"); a == b {
+		t.Fatalf("sampled sweeps with different sample sizes must not coalesce: both %q", a)
+	}
+}
+
+// TestSimulateEchoesNormalizedSeed drives the normalization through the
+// HTTP surface: a k = 2 request carrying a seed gets the seed echoed as
+// 0 in the report — proof the handler swept with the normalized options,
+// not the raw request's.
+func TestSimulateEchoesNormalizedSeed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/simulate?n=9&k=2&seed=99&sample=77")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sb struct {
+		Sweep struct {
+			K       int   `json:"k"`
+			Seed    int64 `json:"seed"`
+			Sampled bool  `json:"sampled"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(body, &sb); err != nil {
+		t.Fatalf("bad JSON: %v (%s)", err, body)
+	}
+	if sb.Sweep.K != 2 || sb.Sweep.Seed != 0 || sb.Sweep.Sampled {
+		t.Fatalf("k=2 report must echo the normalized sampler (seed 0, not sampled): %+v", sb.Sweep)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/cyclecover/cyclecover/internal/fanout"
 	"github.com/cyclecover/cyclecover/internal/ring"
 	"github.com/cyclecover/cyclecover/internal/scratch"
 )
@@ -31,9 +32,12 @@ type SweepOptions struct {
 	// links); K ≥ 3 spaces larger than Sample are sampled.
 	K int
 	// Workers bounds the worker pool that fans scenario evaluation out.
-	// 0 selects GOMAXPROCS; 1 forces the serial sweep. The aggregate
-	// report is bit-identical for every worker count: workers accumulate
-	// integer tallies into private shards that merge deterministically.
+	// 0 defers to the context's fan-out stamp (fanout.Limit) when one is
+	// present — inside a server pool job that is the job's fair share of
+	// the cores, so nested parallelism does not multiply — and GOMAXPROCS
+	// otherwise; 1 forces the serial sweep. The aggregate report is
+	// bit-identical for every worker count: workers accumulate integer
+	// tallies into private shards that merge deterministically.
 	Workers int
 	// Sample bounds the scenario set of a K ≥ 3 sweep; 0 selects
 	// DefaultSample. A space no larger than Sample is enumerated
@@ -201,7 +205,9 @@ func (s *Simulator) SweepCtx(ctx context.Context, opts SweepOptions) (SweepResul
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		if workers = fanout.Limit(ctx); workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 	}
 
 	sc := sweepScratches.Get()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/cyclecover/cyclecover/internal/cache"
+	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/survive"
 )
 
@@ -118,6 +119,87 @@ func (p *Planner) PlanWDMCtx(ctx context.Context, in Instance) (*Network, error)
 
 // CacheStats returns the planner's cache counters.
 func (p *Planner) CacheStats() CacheStats { return p.plans.Stats() }
+
+// SignatureOf returns the canonical cache signature this planner files
+// the instance under — the handle PlanDelta accepts as a parent
+// reference. It is also the signature the cycled service echoes in its
+// /plan responses, so a signature obtained there addresses the same plan
+// here (and vice versa) as long as both use the same options.
+func (p *Planner) SignatureOf(in Instance) string { return cache.Signature(in, p.opts) }
+
+// PlannedDelta is the outcome of an incremental replan: the child plan
+// plus provenance about how it was produced. Covering is the caller's
+// private clone; Network is shared with the cache and must be treated as
+// read-only.
+type PlannedDelta struct {
+	// ParentSignature and Signature identify the parent and child plans
+	// in the cache; the child is admitted under Signature exactly as a
+	// cold plan of the same instance would be.
+	ParentSignature string
+	Signature       string
+	// Child is the derived child instance (parent demand plus delta).
+	Child    Instance
+	Covering *Covering
+	Network  *Network
+	// Method names the constructor that produced the covering;
+	// "delta-repair" when warm repair converged, a cold constructor's
+	// name when the build fell back (or the child was already cached).
+	Method string
+	// Repaired reports that the covering came from warm-start repair of
+	// the parent rather than cold construction.
+	Repaired bool
+	// Optimal reports that the covering provably has ρ(n) cycles.
+	Optimal bool
+	// CacheHit reports that the child plan was served from the cache (or
+	// joined an in-flight computation) rather than built by this call.
+	CacheHit bool
+}
+
+// PlanDelta incrementally replans after a bounded instance change: the
+// parent plan is fetched from the cache by its canonical signature (see
+// SignatureOf), the delta is applied to its demand, and the child is
+// planned by warm-starting the repair search from the parent covering —
+// falling back to cold construction transparently when repair cannot
+// match the cold cost within budget. The child plan is verified, costs
+// no more cycles than a cold replan, and is admitted under the child
+// instance's own signature with the cache's single-flight semantics, so
+// concurrent deltas and cold plans of the same child coalesce.
+//
+// An unresolvable parent signature fails with an error wrapping
+// cache.ErrUnknownParent (plan the parent first); a delta invalid
+// against the parent's demand wraps cache.ErrBadDelta.
+func (p *Planner) PlanDelta(parentSig string, d Delta) (*PlannedDelta, error) {
+	return p.PlanDeltaCtx(context.Background(), parentSig, d)
+}
+
+// PlanDeltaCtx is PlanDelta under a context, with the cancellation
+// semantics of CoverInstanceCtx for both the repair and any fallback
+// construction.
+func (p *Planner) PlanDeltaCtx(ctx context.Context, parentSig string, d Delta) (*PlannedDelta, error) {
+	dp, err := p.plans.ResolveDelta(parentSig, d)
+	if err != nil {
+		return nil, err
+	}
+	res, hit, err := p.plans.CoverDeltaCtx(ctx, dp)
+	if err != nil {
+		return nil, err
+	}
+	nw, _, err := p.plans.NetworkCtx(ctx, dp.Child, dp.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return &PlannedDelta{
+		ParentSignature: dp.ParentSig,
+		Signature:       dp.ChildSig,
+		Child:           dp.Child,
+		Covering:        res.Covering,
+		Network:         nw,
+		Method:          string(res.Method),
+		Repaired:        res.Method == construct.MethodDelta,
+		Optimal:         res.Optimal,
+		CacheHit:        hit,
+	}, nil
+}
 
 // PlanManyResult is one instance's outcome from PlanMany. Exactly one of
 // Err or the (Covering, Network) pair is meaningful; Covering is the
