@@ -1,0 +1,151 @@
+// Command benchgate enforces the hot-path allocation budget in CI. It
+// runs a pinned set of -benchmem benchmarks — the same four the former
+// awk gate watched — parses their allocs/op figures from `go test`
+// output, and diffs the results against the pinned names: a missing
+// benchmark (renamed, deleted, or silently skipped) fails the gate just
+// as hard as a nonzero allocation count, so the budget cannot rot by
+// omission.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate            # run every pinned gate
+//	go run ./cmd/benchgate -list      # print the pinned set and exit
+//
+// Exit status: 0 all gates hold, 1 any gate violated, 2 a benchmark
+// invocation itself failed.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// gate pins one benchmark to an allocation budget. Benchtime uses the
+// fixed-iteration "Nx" form so the run cost stays bounded in CI.
+type gate struct {
+	Bench     string // exact benchmark function name
+	Package   string // package pattern passed to go test
+	Benchtime string // -benchtime value, e.g. "500x"
+	MaxAllocs int64  // inclusive allocs/op budget
+}
+
+// gates mirrors the hot-path contract documented in DESIGN.md: the
+// verify, exact-search inner branch, sweep-evaluate, and warm
+// delta-repair paths must stay allocation-free.
+var gates = []gate{
+	{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", Benchtime: "500x", MaxAllocs: 0},
+	{Bench: "BenchmarkExactInnerBranch", Package: "./internal/construct", Benchtime: "5x", MaxAllocs: 0},
+	{Bench: "BenchmarkSweepEvaluate", Package: "./internal/survive", Benchtime: "2000x", MaxAllocs: 0},
+	{Bench: "BenchmarkDeltaRepairWarm", Package: "./internal/construct", Benchtime: "500x", MaxAllocs: 0},
+}
+
+// result is one parsed benchmark line that reported an allocs/op
+// figure.
+type result struct {
+	Name   string // base name: sub-benchmark path and -P suffix stripped
+	Allocs int64
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the pinned gate set and exit")
+	flag.Parse()
+	if *list {
+		for _, g := range gates {
+			fmt.Printf("%s\t%s\t-benchtime %s\tmax %d allocs/op\n", g.Bench, g.Package, g.Benchtime, g.MaxAllocs)
+		}
+		return
+	}
+	var problems []string
+	for _, g := range gates {
+		out, err := runGate(g)
+		os.Stdout.Write(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", g.Bench, err)
+			os.Exit(2)
+		}
+		problems = append(problems, check(g, parseResults(out))...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAIL: "+p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d gates hold\n", len(gates))
+}
+
+// runGate invokes go test for one pinned benchmark and returns its
+// combined output.
+func runGate(g gate) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+g.Bench+"$", "-benchmem", "-benchtime", g.Benchtime, g.Package)
+	return cmd.CombinedOutput()
+}
+
+// check diffs the parsed results against one gate's pinned name and
+// budget, returning human-readable violations.
+func check(g gate, results []result) []string {
+	var problems []string
+	seen := false
+	for _, r := range results {
+		if r.Name != g.Bench {
+			continue
+		}
+		seen = true
+		if r.Allocs > g.MaxAllocs {
+			problems = append(problems, fmt.Sprintf("%s (%s): %d allocs/op, budget %d",
+				g.Bench, g.Package, r.Allocs, g.MaxAllocs))
+		}
+	}
+	if !seen {
+		problems = append(problems, fmt.Sprintf("%s (%s): no allocs/op line — benchmark missing or renamed",
+			g.Bench, g.Package))
+	}
+	return problems
+}
+
+// parseResults extracts every benchmark line carrying an allocs/op
+// figure. The parse keys off field positions rather than column
+// offsets: the allocation count is the field immediately before the
+// trailing "allocs/op" unit, and the benchmark name is field 0 with
+// any sub-benchmark path and GOMAXPROCS suffix stripped. Lines that do
+// not fit (headers, PASS/ok trailers, partial output) are skipped.
+func parseResults(out []byte) []result {
+	var results []result
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || fields[len(fields)-1] != "allocs/op" {
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		allocs, err := strconv.ParseInt(fields[len(fields)-2], 10, 64)
+		if err != nil {
+			continue
+		}
+		results = append(results, result{Name: baseName(fields[0]), Allocs: allocs})
+	}
+	return results
+}
+
+// baseName reduces a reported benchmark name to its function name:
+// sub-benchmark segments after "/" and the "-P" GOMAXPROCS suffix are
+// dropped.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}

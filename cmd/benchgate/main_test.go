@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleOutput is a realistic go test -benchmem transcript: headers,
+// a plain result, a sub-benchmark, a noise line, and the trailers.
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/cyclecover/cyclecover/internal/cover
+cpu: fake
+BenchmarkVerifyWarm-8   	     500	      2104 ns/op	       0 B/op	       0 allocs/op
+BenchmarkVerifyWarm/n=19-8	     500	      4110 ns/op	      16 B/op	       2 allocs/op
+some unrelated line with allocs/op mentioned but wrong shape
+BenchmarkOther-8        	       5	 123456789 ns/op	    1024 B/op	      37 allocs/op
+PASS
+ok  	github.com/cyclecover/cyclecover/internal/cover	1.234s
+`
+
+func TestParseResults(t *testing.T) {
+	got := parseResults([]byte(sampleOutput))
+	want := []result{
+		{Name: "BenchmarkVerifyWarm", Allocs: 0},
+		{Name: "BenchmarkVerifyWarm", Allocs: 2},
+		{Name: "BenchmarkOther", Allocs: 37},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseResultsSkipsMalformed(t *testing.T) {
+	malformed := strings.Join([]string{
+		"BenchmarkBroken-8 500 2 ns/op NaN allocs/op", // non-numeric count
+		"allocs/op",                     // too short
+		"NotABenchmark 1 0 allocs/op",   // name without Benchmark prefix
+		"BenchmarkTail-8 1 7 allocs/op", // valid minimal shape
+	}, "\n")
+	got := parseResults([]byte(malformed))
+	if len(got) != 1 || got[0] != (result{Name: "BenchmarkTail", Allocs: 7}) {
+		t.Fatalf("parsed %v, want only BenchmarkTail=7", got)
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkVerifyWarm-8":        "BenchmarkVerifyWarm",
+		"BenchmarkVerifyWarm":          "BenchmarkVerifyWarm",
+		"BenchmarkVerifyWarm/n=19-8":   "BenchmarkVerifyWarm",
+		"BenchmarkSweep/k=2/dense-16":  "BenchmarkSweep",
+		"BenchmarkOdd-name":            "BenchmarkOdd-name", // suffix not numeric
+		"BenchmarkDeltaRepairWarm-256": "BenchmarkDeltaRepairWarm",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckPassesWithinBudget(t *testing.T) {
+	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
+	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 0}})
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCheckFlagsNonzeroAllocs(t *testing.T) {
+	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
+	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 3}})
+	if len(problems) != 1 || !strings.Contains(problems[0], "3 allocs/op") {
+		t.Fatalf("problems = %v, want one nonzero-allocs violation", problems)
+	}
+}
+
+func TestCheckFlagsMissingBenchmark(t *testing.T) {
+	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
+	problems := check(g, []result{{Name: "BenchmarkSomethingElse", Allocs: 0}})
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing or renamed") {
+		t.Fatalf("problems = %v, want one missing-benchmark violation", problems)
+	}
+}
+
+// TestGatesMatchPinnedContract guards the pinned set itself: the four
+// hot paths with a zero budget. Editing the set is a deliberate act
+// that must touch this test too.
+func TestGatesMatchPinnedContract(t *testing.T) {
+	want := map[string]string{
+		"BenchmarkVerifyWarm":       "./internal/cover",
+		"BenchmarkExactInnerBranch": "./internal/construct",
+		"BenchmarkSweepEvaluate":    "./internal/survive",
+		"BenchmarkDeltaRepairWarm":  "./internal/construct",
+	}
+	if len(gates) != len(want) {
+		t.Fatalf("%d gates pinned, want %d", len(gates), len(want))
+	}
+	for _, g := range gates {
+		pkg, ok := want[g.Bench]
+		if !ok {
+			t.Errorf("unexpected gate %q", g.Bench)
+			continue
+		}
+		if g.Package != pkg {
+			t.Errorf("%s pinned to %s, want %s", g.Bench, g.Package, pkg)
+		}
+		if g.MaxAllocs != 0 {
+			t.Errorf("%s budget %d, want 0", g.Bench, g.MaxAllocs)
+		}
+		if !strings.HasSuffix(g.Benchtime, "x") {
+			t.Errorf("%s benchtime %q, want fixed-iteration Nx form", g.Bench, g.Benchtime)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command cyclelint is the repository's static-analysis multichecker:
+// it loads the module from source (stdlib-only, no module proxy
+// needed) and runs the five cyclecover analyzers over every package,
+// enforcing at compile time the invariants the test suite pins at
+// runtime:
+//
+//	detiter        deterministic iteration (no raw map ranges)
+//	rngdiscipline  seed-derived randomness only (no time.Now / global rand)
+//	noalloc        allocation-free //cyclecover:noalloc hot paths
+//	ctxdiscipline  context threading and Ctx-variant coverage
+//	docs           package + public-API documentation contract
+//
+// Usage:
+//
+//	cyclelint [-root dir] [-only name[,name]] [packages]
+//
+// Packages default to ./... (the whole module). Exit status: 0 clean,
+// 1 findings, 2 load or usage error. CI runs `go run ./cmd/cyclelint
+// ./...` as a required step; DESIGN.md §9 documents each analyzer's
+// contract and the //cyclecover:* annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/cyclecover/cyclecover/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root directory (default: nearest go.mod at or above cwd)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cyclelint [-root dir] [-only names] [packages]\n\nAnalyzers:\n")
+		for _, az := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", az.Name, az.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cyclelint:", err)
+			os.Exit(2)
+		}
+	}
+	azs, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclelint:", err)
+		os.Exit(2)
+	}
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclelint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cyclelint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, azs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cyclelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the registry.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, az := range all {
+		byName[az.Name] = az
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		az, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		picked = append(picked, az)
+	}
+	return picked, nil
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:strings.LastIndex(dir, "/")+1]
+		parent = strings.TrimSuffix(parent, "/")
+		if parent == dir || parent == "" {
+			return "", fmt.Errorf("no go.mod at or above the working directory; pass -root")
+		}
+		dir = parent
+	}
+}

@@ -49,8 +49,8 @@ func TestDeltaMatchesOrBeatsCold(t *testing.T) {
 	}
 
 	ctx := context.Background()
-	warm := NewPlanner()      // serves the parents and the delta plans
-	cold := NewPlanner()      // independent cache: cold replans of the children
+	warm := NewPlanner() // serves the parents and the delta plans
+	cold := NewPlanner() // independent cache: cold replans of the children
 	checked, repaired := 0, 0
 	for n := 3; n <= 16; n++ {
 		for _, spec := range specs(n) {

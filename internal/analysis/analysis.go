@@ -1,0 +1,150 @@
+// Package analysis is the repository's static-analysis framework: a
+// deliberately small, stdlib-only re-creation of the
+// golang.org/x/tools/go/analysis API shape (Analyzer, Pass, Diagnostic)
+// plus a whole-module loader built on go/parser + go/types with a
+// source-mode importer.
+//
+// The real x/tools module is the natural host for these checkers, but
+// this repository builds in hermetic environments with no module proxy,
+// so the framework is vendored down to the ~300 lines the five cyclelint
+// analyzers actually need. The API mirrors x/tools closely enough that
+// porting the analyzers onto the real multichecker is a mechanical
+// search-and-replace once the dependency is allowed.
+//
+// The five analyzers (see Analyzers) enforce the invariants the paper
+// reproduction's tests only pin at runtime: deterministic iteration
+// (detiter), seed-derived randomness (rngdiscipline), allocation-free
+// annotated hot paths (noalloc), context propagation (ctxdiscipline),
+// and the documentation contract (docs). DESIGN.md §9 documents the
+// contract and the //cyclecover:* annotation grammar.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check: a name, a short contract, and a
+// Run function applied to every loaded package. It mirrors
+// x/tools/go/analysis.Analyzer minus the dependency graph (the five
+// cyclelint analyzers are independent).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line; it is a lowercase single word.
+	Name string
+	// Doc is the one-paragraph contract shown by `cyclelint -help`.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzed package — syntax, type information, and the
+// parsed //cyclecover: directives — to an Analyzer's Run function, and
+// collects its diagnostics.
+type Pass struct {
+	// Fset maps token positions of every file in the package.
+	Fset *token.FileSet
+	// Files holds the package's parsed non-test files in deterministic
+	// (sorted filename) order.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for the package.
+	Info *types.Info
+	// ModuleRoot reports whether this package is the module's root
+	// (public API) package; the docs analyzer checks exported-identifier
+	// docs only there.
+	ModuleRoot bool
+
+	analyzer   *Analyzer
+	directives []Directive
+	diags      *[]Diagnostic
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a message.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the originating analyzer.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String formats the diagnostic in the conventional
+// file:line:col: [analyzer] message shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil if the type checker did
+// not record one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns every finding,
+// deterministically ordered by file, line, column, analyzer, message.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		validateDirectives(pkg, &diags)
+		for _, az := range analyzers {
+			pass := &Pass{
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				ModuleRoot: pkg.ModuleRoot,
+				analyzer:   az,
+				directives: pkg.Directives,
+				diags:      &diags,
+			}
+			az.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Analyzers returns the full cyclelint suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetIter, RNGDiscipline, NoAlloc, CtxDiscipline, Docs}
+}

@@ -1,0 +1,113 @@
+// Package atest is the fixture harness for the cyclelint analyzers —
+// the stdlib-only counterpart of golang.org/x/tools/go/analysis/
+// analysistest. A fixture is a directory of Go files under testdata/
+// annotated with `// want "regexp"` comments: Run type-checks the
+// directory as a standalone package, applies one analyzer, and fails
+// the test on any finding without a matching want, or any want without
+// a matching finding. Lines carrying the analyzer's documented opt-out
+// annotation therefore double as regression tests for the opt-out path:
+// a finding there would be an unexpected diagnostic.
+package atest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/analysis"
+)
+
+// want is one expectation: a compiled pattern at a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE extracts the quoted patterns of a `// want "..." "..."` comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run applies one analyzer to the fixture directory and checks its
+// findings against the fixture's want comments. moduleRoot marks the
+// fixture as the module's root package (the docs analyzer checks
+// exported-identifier documentation only there).
+func Run(t *testing.T, az *analysis.Analyzer, dir string, moduleRoot bool) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(dir, moduleRoot)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parse wants in %s: %v", dir, err)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{az})
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches, reporting whether one was found.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants scans every fixture file for want comments. The scan is
+// textual (line-oriented) so wants can annotate any line, including
+// ones inside comments the parser would fold away.
+func parseWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, expect, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRE.FindAllStringSubmatch(expect, -1)
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", path, i+1, expect)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetIter flags order-nondeterministic iteration — `range` over a map,
+// the stdlib maps.Keys/Values/All iterators, and sync.Map.Range — in
+// every package of the module. The covering pipeline's outputs are
+// pinned bit-identical across runs, worker counts, and serial/parallel
+// execution, so any map-order dependence that feeds a canonical
+// signature, a merge, or a result is a latent nondeterminism bug.
+// Sanctioned sites (e.g. keys collected into a slice and sorted before
+// use) opt out with `//cyclecover:nondet <reason>` on the same line or
+// the line above.
+var DetIter = &Analyzer{
+	Name: "detiter",
+	Doc: "flags range-over-map and other order-nondeterministic iteration; " +
+		"opt out with //cyclecover:nondet <reason>",
+	Run: runDetIter,
+}
+
+// nondetIterFuncs are stdlib functions whose iteration order is
+// deliberately unspecified.
+var nondetIterFuncs = map[string]map[string]bool{
+	"maps": {"Keys": true, "Values": true, "All": true},
+}
+
+func runDetIter(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok && !pass.Exempt(n.Pos(), "nondet") {
+					pass.Reportf(n.Pos(), "range over map is order-nondeterministic; sort keys first or annotate //cyclecover:nondet <reason>")
+				}
+			case *ast.CallExpr:
+				switch fn := n.Fun.(type) {
+				case *ast.SelectorExpr:
+					// Package-level iterator helpers: maps.Keys etc.
+					if id, ok := fn.X.(*ast.Ident); ok {
+						if obj, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+							if set, ok := nondetIterFuncs[obj.Imported().Path()]; ok && set[fn.Sel.Name] {
+								if !pass.Exempt(n.Pos(), "nondet") {
+									pass.Reportf(n.Pos(), "%s.%s iterates in nondeterministic order; annotate //cyclecover:nondet <reason> if sanctioned", obj.Imported().Path(), fn.Sel.Name)
+								}
+							}
+							return true
+						}
+					}
+					// sync.Map.Range method calls.
+					if sel, ok := pass.Info.Selections[fn]; ok && fn.Sel.Name == "Range" {
+						if named, ok := derefNamed(sel.Recv()); ok && isType(named, "sync", "Map") {
+							if !pass.Exempt(n.Pos(), "nondet") {
+								pass.Reportf(n.Pos(), "sync.Map.Range iterates in nondeterministic order; annotate //cyclecover:nondet <reason> if sanctioned")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// derefNamed unwraps pointers and reports the named type underneath.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// isType reports whether n is the named type pkgPath.name.
+func isType(n *types.Named, pkgPath, name string) bool {
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

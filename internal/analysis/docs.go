@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Docs enforces the repository's documentation contract, migrated from
+// the former cmd/doccheck so the whole lint surface has one entry
+// point:
+//
+//   - every package carries a package-level godoc comment;
+//   - every exported identifier of the module's root package (the
+//     public API surface) carries a doc comment — a group doc on a
+//     declaration block covers its specs, and a trailing line comment
+//     also counts.
+//
+// A comment consisting solely of //cyclecover: directives does not
+// count as documentation. Opt out with `//cyclecover:nodoc <reason>`
+// inside the (otherwise empty) doc comment.
+var Docs = &Analyzer{
+	Name: "docs",
+	Doc: "every package needs a package godoc comment and every root-package export a doc comment; " +
+		"opt out with //cyclecover:nodoc <reason>",
+	Run: runDocs,
+}
+
+func runDocs(pass *Pass) {
+	if !packageDocumented(pass) {
+		pass.Reportf(pass.Files[0].Package, "package %s has no package-level godoc comment", pass.Pkg.Name())
+	}
+	if !pass.ModuleRoot {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && !docOK(pass, d.Pos(), d.Doc) {
+					pass.Reportf(d.Pos(), "exported function %s is undocumented", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := hasRealDoc(d.Doc)
+				groupNodoc := nodocIn(d.Doc)
+				// A trailing line comment documents a spec only inside a
+				// grouped declaration (the enum style); a standalone decl
+				// needs a real doc comment above it.
+				grouped := d.Lparen.IsValid()
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && !groupDoc && !groupNodoc &&
+							!hasRealDoc(sp.Doc) && !(grouped && hasRealDoc(sp.Comment)) && !docOK(pass, sp.Pos(), sp.Doc) {
+							pass.Reportf(sp.Pos(), "exported type %s is undocumented", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if groupDoc || groupNodoc || hasRealDoc(sp.Doc) || (grouped && hasRealDoc(sp.Comment)) {
+							continue
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() && !docOK(pass, sp.Pos(), sp.Doc) {
+								pass.Reportf(sp.Pos(), "exported value %s is undocumented", name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// docOK reports whether a declaration is properly documented or
+// explicitly opted out.
+func docOK(pass *Pass, pos token.Pos, doc *ast.CommentGroup) bool {
+	if hasRealDoc(doc) {
+		return true
+	}
+	if nodocIn(doc) {
+		return true
+	}
+	return pass.Exempt(pos, "nodoc")
+}
+
+// packageDocumented reports whether any file carries a real package doc
+// comment, or a nodoc opt-out.
+func packageDocumented(pass *Pass) bool {
+	for _, f := range pass.Files {
+		if hasRealDoc(f.Doc) || nodocIn(f.Doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRealDoc reports whether the comment group has documentation
+// content beyond cyclecover directives.
+func hasRealDoc(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(c.Text, directivePrefix) {
+			continue
+		}
+		t := strings.TrimLeft(c.Text, "/* \t")
+		if strings.TrimSpace(strings.TrimSuffix(t, "*/")) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// nodocIn reports a justified nodoc directive inside the comment group.
+func nodocIn(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		verb, reason, _ := strings.Cut(rest, " ")
+		if strings.TrimSpace(verb) == "nodoc" && strings.TrimSpace(reason) != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/analysis"
+	"github.com/cyclecover/cyclecover/internal/analysis/atest"
+)
+
+// TestDetIterFixture checks the raw-map-range and stdlib-iterator
+// findings, the annotated opt-out, and the bare-directive violation.
+func TestDetIterFixture(t *testing.T) {
+	atest.Run(t, analysis.DetIter, "testdata/detiter", false)
+}
+
+// TestRNGDisciplineFixture checks wall-clock, global-RNG, and
+// crypto/rand findings against seeded construction and the opt-out.
+func TestRNGDisciplineFixture(t *testing.T) {
+	atest.Run(t, analysis.RNGDiscipline, "testdata/rng", false)
+}
+
+// TestNoAllocFixture checks every allocation class the analyzer knows,
+// the cold-branch and self-append carve-outs, and the allocok opt-out.
+func TestNoAllocFixture(t *testing.T) {
+	atest.Run(t, analysis.NoAlloc, "testdata/noalloc", false)
+}
+
+// TestCtxDisciplineFixture checks ignored/discarded/dangling contexts,
+// the threaded and polled happy paths, and the Ctx-sibling rule.
+func TestCtxDisciplineFixture(t *testing.T) {
+	atest.Run(t, analysis.CtxDiscipline, "testdata/ctx", false)
+}
+
+// TestDocsFixtures checks the package-doc rule, its nodoc opt-out, and
+// the module-root exported-identifier rule.
+func TestDocsFixtures(t *testing.T) {
+	t.Run("missing", func(t *testing.T) {
+		atest.Run(t, analysis.Docs, "testdata/docsmissing", false)
+	})
+	t.Run("optout", func(t *testing.T) {
+		atest.Run(t, analysis.Docs, "testdata/docsoptout", false)
+	})
+	t.Run("root", func(t *testing.T) {
+		atest.Run(t, analysis.Docs, "testdata/docsroot", true)
+	})
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked module package plus everything a
+// Pass needs: syntax, type facts, and parsed directives.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Fset is the loader's shared file set.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files in sorted filename order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact tables.
+	Info *types.Info
+	// ModuleRoot marks the module's root (public API) package.
+	ModuleRoot bool
+	// Directives collects every //cyclecover: annotation in the package.
+	Directives []Directive
+}
+
+// Loader type-checks module packages from source with no external
+// dependencies: module-internal imports resolve against the module
+// directory, everything else through the toolchain's source-mode
+// importer (GOROOT). One Loader must be used per module; packages are
+// cached by import path so every reference shares one type identity.
+type Loader struct {
+	// ModulePath is the module's path from go.mod.
+	ModulePath string
+	// ModuleDir is the module root directory.
+	ModuleDir string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	deps map[string]*types.Package
+}
+
+// cgoOff forces pure-Go stdlib builds once per process: the source
+// importer cannot run cgo, and every package the module touches has a
+// pure-Go fallback.
+var cgoOff sync.Once
+
+// NewLoader returns a Loader for the module rooted at dir, reading the
+// module path from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	cgoOff.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModulePath: modPath,
+		ModuleDir:  dir,
+		fset:       fset,
+		pkgs:       map[string]*Package{},
+		deps:       map[string]*types.Package{},
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	l.std = std
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) { return l.ImportFrom(path, "", 0) }
+
+// ImportFrom implements types.ImporterFrom, routing module-internal
+// paths to the module tree and the rest to the GOROOT source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.loadDir(path, filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		l.deps[path] = p
+	}
+	return p, err
+}
+
+// loadDir parses and type-checks one module package directory, cached
+// by import path so dependents share the same type identities.
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:       path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		ModuleRoot: path == l.ModulePath,
+	}
+	for _, f := range files {
+		pkg.Directives = append(pkg.Directives, parseDirectives(l.fset, f)...)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll loads every package in the module (the ./... pattern):
+// each directory under the module root holding non-test Go files,
+// skipping hidden directories, testdata, and underscore-prefixed paths.
+// Packages are returned in sorted import-path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := packageDirs(l.ModuleDir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadDirs(dirs)
+}
+
+// Load resolves the given patterns relative to the module root: the
+// literal "./..." loads the whole module, anything else must be a
+// package directory path like "./internal/graph".
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			all, err := packageDirs(l.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, all...)
+			continue
+		}
+		dirs = append(dirs, filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+	}
+	return l.loadDirs(dirs)
+}
+
+// loadDirs maps package directories to import paths and loads each one
+// once, in deterministic order.
+func (l *Loader) loadDirs(dirs []string) ([]*Package, error) {
+	seen := map[string]bool{}
+	var pkgs []*Package
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// packageDirs lists the module's package directories: every directory
+// holding at least one non-test .go file, skipping hidden, underscore,
+// and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	// WalkDir visits lexically, so appending on the first .go file per
+	// directory yields a deterministic, already-sorted list without
+	// ranging over a map.
+	var dirs []string
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadFixture type-checks a single standalone directory (an
+// analysistest fixture under testdata) as the synthetic import path
+// "fixture/<basename>". Fixtures may import the standard library only.
+// moduleRoot marks the resulting package as the module's root package
+// for analyzers that treat the public API specially.
+func LoadFixture(dir string, moduleRoot bool) (*Package, error) {
+	cgoOff.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	l := &Loader{
+		ModulePath: "fixture/" + filepath.Base(dir),
+		ModuleDir:  dir,
+		fset:       fset,
+		std:        std,
+		pkgs:       map[string]*Package{},
+		deps:       map[string]*types.Package{},
+	}
+	pkg, err := l.loadDir(l.ModulePath, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg.ModuleRoot = moduleRoot
+	return pkg, nil
+}

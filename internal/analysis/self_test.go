@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/cyclecover/cyclecover/internal/analysis"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the whole
+// module, mirroring the CI `cyclelint ./...` gate. The repository must
+// stay finding-free at head: a regression here means either a new
+// violation slipped in or an analyzer started misfiring — both block.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is too slow for -short")
+	}
+	loader, err := analysis.NewLoader("../..")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		t.Errorf("finding at head: %s", d)
+	}
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the detiter analyzer: raw map ranges and
+// stdlib nondeterministic iterators are findings; annotated sites and
+// slice ranges are not.
+package fixture
+
+import (
+	"maps"
+	"sync"
+)
+
+// Flagged: a raw range over a map.
+func rangeMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map is order-nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// Not flagged: ranging over a slice is deterministic.
+func rangeSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Not flagged: the opt-out annotation with a reason sanctions the site.
+func rangeMapSanctioned(m map[string]int) int {
+	total := 0
+	//cyclecover:nondet order-free fold: commutative sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A bare opt-out is a grammar violation and does not exempt the range.
+func rangeMapBareDirective(m map[string]int) int {
+	total := 0
+	//cyclecover:nondet  // want "requires a reason"
+	for _, v := range m { // want "range over map is order-nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// Flagged: stdlib map iterators are just as nondeterministic.
+func mapsKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want "maps.Keys iterates in nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Flagged: sync.Map.Range has no order guarantee either.
+func syncMapRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(_, _ any) bool { // want "sync.Map.Range iterates in nondeterministic order"
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,5 @@
+package fixture // want "no package-level godoc comment"
+
+// Exported is documented, but this is not the module root package, so
+// only the package comment is checked — and it is missing.
+func Exported() {}

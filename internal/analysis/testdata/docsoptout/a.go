@@ -1,0 +1,4 @@
+//cyclecover:nodoc generated shim package, documented at its source of truth
+package fixture
+
+func helper() {}

@@ -1,0 +1,30 @@
+// Package fixture exercises the docs analyzer's module-root mode:
+// every exported identifier of the public API needs a doc comment.
+package fixture
+
+// Documented carries a doc comment and is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented is undocumented"
+
+// DocumentedType is fine.
+type DocumentedType struct{}
+
+type UndocumentedType struct{} // want "exported type UndocumentedType is undocumented"
+
+// Grouped docs cover every spec in the block.
+var (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Bare = 3 // want "exported value Bare is undocumented"
+
+var (
+	TrailingOK = 4 // a trailing comment documents a spec inside a group
+)
+
+//cyclecover:nodoc mirrors an upstream constant name verbatim
+var OptedOut = 5
+
+func unexported() {}

@@ -1,0 +1,91 @@
+// Package fixture exercises the noalloc analyzer: allocation-introducing
+// constructs on the warm path of annotated functions are findings; cold
+// (terminating) branches, self-appends, and annotated sites are not.
+// Unannotated functions are never checked.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type scratch struct {
+	buf  []int
+	name string
+}
+
+//cyclecover:noalloc
+func warmMake(n int) []int {
+	s := make([]int, n) // want "make allocates"
+	return s
+}
+
+//cyclecover:noalloc
+func warmLiterals(s *scratch) interface{} {
+	m := map[int]int{} // want "map literal allocates"
+	sl := []int{1, 2}  // want "slice literal allocates"
+	p := &scratch{}    // want "composite literal allocates"
+	_ = m
+	_ = sl
+	return p
+}
+
+//cyclecover:noalloc
+func warmAppend(s *scratch, fresh []int) []int {
+	out := fresh
+	out = append(out, 1) // self-append into caller-owned storage: not flagged
+	s.buf = append(s.buf[:0], out...)
+	other := append(out, 2) // want "append to a fresh slice allocates"
+	return other
+}
+
+//cyclecover:noalloc
+func warmClosure(s *scratch) func() int {
+	n := 0
+	f := func() int { // want "closure captures n"
+		n++
+		return n
+	}
+	g := func() int { return 42 } // capture-free literal: not flagged
+	_ = g
+	return f
+}
+
+//cyclecover:noalloc
+func warmBoxing(s *scratch, sink func(any)) {
+	sink(*s)     // want "boxes a non-pointer"
+	sink(s)      // pointer: fits an interface word, not flagged
+	sink("lit")  // constant: static interface data, not flagged
+	sink(s.name) // want "boxes a non-pointer"
+}
+
+//cyclecover:noalloc
+func warmStrings(a, b string) string {
+	msg := a + b             // want "string concatenation allocates"
+	_ = fmt.Sprintf("%s", a) // want "fmt.Sprintf allocates"
+	bs := []byte(a)          // want "conversion copies"
+	_ = bs
+	return msg
+}
+
+//cyclecover:noalloc
+func coldBranches(ok bool, a string) error {
+	if !ok {
+		// Terminating branch: error construction is the cold path.
+		return fmt.Errorf("bad input %q", a+a)
+	}
+	return nil
+}
+
+//cyclecover:noalloc
+func sanctioned(n int) []int {
+	s := make([]int, n) //cyclecover:allocok grow-on-miss; amortised by the pool
+	return s
+}
+
+// Unannotated: the analyzer does not look inside.
+func unannotated(n int) []int {
+	s := make([]int, n)
+	_ = errors.New("fine " + "here")
+	return s
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the rngdiscipline analyzer: wall-clock
+// reads, global math/rand draws, and crypto/rand are findings;
+// seed-derived construction and annotated sites are not.
+package fixture
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// Flagged: the clock is not seed-derived.
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// Flagged: the process-global source is seeded nondeterministically.
+func globalDraw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global RNG"
+}
+
+// Not flagged: an explicitly seeded generator is reproducible.
+func seededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Not flagged: referring to math/rand types is not a draw.
+func typeUse(rng *rand.Rand) *rand.Source { return nil }
+
+// Flagged: entropy can never replay.
+func entropy(buf []byte) {
+	crand.Read(buf) // want "crypto/rand is never seed-reproducible"
+}
+
+// Not flagged: the opt-out annotation with a reason sanctions the site.
+func sanctionedClock() int64 {
+	//cyclecover:rngok coarse uptime metric, never feeds a signature
+	return time.Now().UnixNano()
+}

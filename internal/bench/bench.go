@@ -596,6 +596,7 @@ func TableX2() ([]X2Row, error) {
 	}
 	gCov := topo.CoveredEdges(faces)
 	gExact := len(gCov) == grid.G.M()
+	//cyclecover:nondet order-free fold: checks every multiplicity equals 1
 	for _, c := range gCov {
 		if c != 1 {
 			gExact = false
@@ -614,6 +615,7 @@ func TableX2() ([]X2Row, error) {
 	}
 	tCov := topo.CoveredEdges(tFaces)
 	tExact := len(tCov) == torus.G.M()
+	//cyclecover:nondet order-free fold: checks every multiplicity equals 1
 	for _, c := range tCov {
 		if c != 1 {
 			tExact = false

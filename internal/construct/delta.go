@@ -55,6 +55,8 @@ type DeltaOptions struct {
 // The returned covering is materialized in the scratch's reusable
 // buffers and is only valid until the scratch's next use: callers that
 // retain it (e.g. for cache admission) must CloneDetached it first.
+//
+//cyclecover:noalloc
 func DeltaRepair(ctx context.Context, r ring.Ring, parent *cover.Covering, demand *graph.Graph, opts DeltaOptions) (*cover.Covering, bool) {
 	if parent == nil || demand == nil {
 		return nil, false

@@ -352,6 +352,8 @@ func (s *exactState) prunedAt(budget, depth int) bool {
 // limit bounds total work across all workers. The context poll here is
 // what makes cancellation take effect within one node expansion: every
 // branch application passes through countNode.
+//
+//cyclecover:noalloc
 func (s *exactState) countNode() bool {
 	select {
 	case <-s.done: // nil when no context: never fires, default taken
@@ -375,6 +377,8 @@ func (s *exactState) countNode() bool {
 // search returns true if the subtree was explored completely (or a
 // solution was found); false only when the node limit (or a parallel
 // cancellation, recorded in s.cancelled) interrupted it.
+//
+//cyclecover:noalloc
 func (s *exactState) search(depth int) bool {
 	if s.uncovered == 0 {
 		sol := make([][]int, len(s.chosen))
@@ -555,6 +559,8 @@ func (s *exactState) applyRoot(verts []int) {
 // pickBranchPair selects the uncovered pair with maximum short-arc
 // distance (ties: lexicographic), concentrating the search on diameters
 // and long chords first.
+//
+//cyclecover:noalloc
 func (s *exactState) pickBranchPair() (int, int) {
 	bestU, bestV := -1, -1
 	bestD := int32(-1)
@@ -583,6 +589,8 @@ func (s *exactState) pairIdx(u, v int) int {
 // v are cyclically consecutive ({u,v} plus a non-empty subset of one arc
 // interior), sorted most-constraining first. Allocation-free once the
 // arenas have grown.
+//
+//cyclecover:noalloc
 func (s *exactState) enumerate(depth, u, v int) {
 	ds := s.dsAt(depth)
 	ds.cands = ds.cands[:0]
@@ -597,6 +605,8 @@ func (s *exactState) enumerate(depth, u, v int) {
 
 // interior appends the vertices strictly inside the clockwise arc a→b to
 // buf and returns it.
+//
+//cyclecover:noalloc
 func (s *exactState) interior(a, b int, buf []int) []int {
 	g := s.r.Gap(a, b)
 	for i := 1; i < g; i++ {
@@ -610,6 +620,8 @@ func (s *exactState) interior(a, b int, buf []int) []int {
 // DFS in prefix preorder — each prefix is emitted when its last vertex is
 // chosen, then extended by every higher side index — which is exactly the
 // recursive order, without a per-node closure allocation.
+//
+//cyclecover:noalloc
 func (s *exactState) subsetsFrom(ds *depthScratch, u, v int, side []int) {
 	maxT := len(side)
 	if s.opts.MaxLen > 0 && s.opts.MaxLen-2 < maxT {
@@ -640,6 +652,8 @@ func (s *exactState) subsetsFrom(ds *depthScratch, u, v int, side []int) {
 
 // pushCandidate appends the cycle {u, v} ∪ ds.cur to the arena, scoring
 // its gain and distance against the current residual state.
+//
+//cyclecover:noalloc
 func (s *exactState) pushCandidate(ds *depthScratch, u, v int) {
 	off := len(ds.verts)
 	ds.verts = append(ds.verts, u, v)
@@ -660,6 +674,8 @@ func (s *exactState) pushCandidate(ds *depthScratch, u, v int) {
 
 // apply marks the candidate's pairs covered, recording the newly covered
 // indices in the depth's undo log.
+//
+//cyclecover:noalloc
 func (s *exactState) apply(depth int, c candidate) {
 	ds := &s.depths[depth]
 	ds.newly = ds.newly[:0]
@@ -678,6 +694,8 @@ func (s *exactState) apply(depth int, c candidate) {
 }
 
 // undo reverts the apply recorded at depth.
+//
+//cyclecover:noalloc
 func (s *exactState) undo(depth int) {
 	ds := &s.depths[depth]
 	for _, idx := range ds.newly {

@@ -77,6 +77,7 @@ func (cv *Covering) CoverageCounts() map[graph.Edge]int {
 // slack; the paper's even-n coverings have positive slack.
 func (cv *Covering) DuplicateSlots() int {
 	d := 0
+	//cyclecover:nondet order-free fold: commutative sum of per-pair slack
 	for _, k := range cv.CoverageCounts() {
 		d += k - 1
 	}

@@ -46,6 +46,8 @@ func VerifyDRC(r ring.Ring, c Cycle) error {
 
 // VerifyDRC is the pooled VerifyDRC against this verifier's scratch
 // state. Allocation-free on the success path.
+//
+//cyclecover:noalloc
 func (vf *Verifier) VerifyDRC(r ring.Ring, c Cycle) error {
 	n := r.N()
 	vf.ensureLinks(n)
@@ -85,6 +87,8 @@ func (vf *Verifier) VerifyDRC(r ring.Ring, c Cycle) error {
 
 // ensureLinks grows the link stamp array to n links, resetting the epoch
 // clock only when fresh (zeroed) storage is minted.
+//
+//cyclecover:noalloc
 func (vf *Verifier) ensureLinks(n int) {
 	if cap(vf.stamp) < n {
 		vf.stamp = make([]uint64, n)
@@ -115,6 +119,8 @@ func Verify(cv *Covering, demand *graph.Graph) error {
 // Verify is the pooled Verify against this verifier's scratch state.
 // Allocation-free on the success path once the scratch arrays have grown
 // to the ring size.
+//
+//cyclecover:noalloc
 func (vf *Verifier) Verify(cv *Covering, demand *graph.Graph) error {
 	if cv == nil {
 		return fmt.Errorf("cover: nil covering")

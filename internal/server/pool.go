@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
 
 	"github.com/cyclecover/cyclecover/internal/fanout"
@@ -229,11 +230,19 @@ func (p *Pool) Close() {
 	// workers have exited). Fail them all; fail is idempotent against the
 	// racing submitter's own quit path.
 	p.mu.Lock()
-	orphans := make([]*poolJob, 0, len(p.pending))
-	for _, j := range p.pending {
-		orphans = append(orphans, j)
+	orphanKeys := make([]string, 0, len(p.pending))
+	//cyclecover:nondet keys are sorted immediately below; orphans fail in key order
+	for key := range p.pending {
+		orphanKeys = append(orphanKeys, key)
+	}
+	sort.Strings(orphanKeys)
+	orphans := make([]*poolJob, 0, len(orphanKeys))
+	for _, key := range orphanKeys {
+		orphans = append(orphans, p.pending[key])
 	}
 	p.mu.Unlock()
+	// Failing in sorted key order keeps shutdown behaviour reproducible:
+	// waiters observe ErrPoolClosed in a deterministic sequence.
 	for _, j := range orphans {
 		p.fail(j, ErrPoolClosed)
 	}

@@ -22,6 +22,7 @@ package survive
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
@@ -80,9 +81,13 @@ func (s *Simulator) Fail(links ...ring.Link) (FailureReport, error) {
 		failed[ring.Link(r.Norm(int(l)))] = true
 	}
 	report := FailureReport{}
+	//cyclecover:nondet keys are sorted immediately below before any use
 	for l := range failed {
 		report.Failed = append(report.Failed, l)
 	}
+	// The failed-link list is part of the report (and of /simulate-shaped
+	// JSON downstream); map order must not leak into output.
+	sort.Slice(report.Failed, func(i, j int) bool { return report.Failed[i] < report.Failed[j] })
 
 	for _, e := range s.nw.Demand.Edges() {
 		sub, ok := s.nw.SubnetworkFor(e.U, e.V)
@@ -113,6 +118,7 @@ func (s *Simulator) Fail(links ...ring.Link) (FailureReport, error) {
 }
 
 func arcBroken(r ring.Ring, a ring.Arc, failed map[ring.Link]bool) bool {
+	//cyclecover:nondet order-free any-of predicate; result independent of iteration order
 	for l := range failed {
 		if a.Contains(r, l) {
 			return true

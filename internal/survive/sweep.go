@@ -307,6 +307,8 @@ func (s *Simulator) demandRoutes(sc *sweepScratch) ([]demandRoute, error) {
 // per-request reroute records: same classification (unaffected /
 // restored / lost) per demand, integer counters only, no allocation on
 // the hot path. links must be valid, normalised ring links.
+//
+//cyclecover:noalloc
 func (s *Simulator) evaluate(links []ring.Link, demands []demandRoute) scenarioTally {
 	n := s.nw.Ring.N()
 	var t scenarioTally
@@ -334,6 +336,8 @@ func (s *Simulator) evaluate(links []ring.Link, demands []demandRoute) scenarioT
 // `length` links starting at link `from` — Arc.Contains unrolled to a
 // branch-only offset test. The failed set is a tiny slice (K links), so a
 // linear scan beats a map.
+//
+//cyclecover:noalloc
 func brokenBy(n, from, length int, failed []ring.Link) bool {
 	for _, l := range failed {
 		d := int(l) - from
@@ -729,6 +733,7 @@ func randomSubset(rng *rand.Rand, links, k int) []ring.Link {
 		}
 	}
 	out := make([]ring.Link, 0, k)
+	//cyclecover:nondet keys are sorted immediately below before any use
 	for v := range chosen {
 		out = append(out, ring.Link(v))
 	}
