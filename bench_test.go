@@ -337,10 +337,13 @@ func BenchmarkExactCertification(b *testing.B) {
 // BenchmarkExact is the pinned exact-search hot-path benchmark (see
 // BENCH_5.json): the full branch-and-bound certification of K_12 at
 // ρ(12), serial, fixed node limit. Its inner branch is the hottest loop
-// in the solver; the dense-core refactor is measured against it.
+// in the solver; the dense-core refactor is measured against it, and the
+// symmetry-reduced engine reports its search effort as nodes/op (gated
+// by cmd/benchgate alongside the allocation budgets).
 func BenchmarkExact(b *testing.B) {
 	const n = 12
 	b.ReportAllocs()
+	var nodes int64
 	for i := 0; i < b.N; i++ {
 		out := construct.Exact(n, construct.ExactOptions{
 			Budget: cover.Rho(n), MaxLen: 4, NodeLimit: 8_000_000, Parallelism: 1,
@@ -348,7 +351,51 @@ func BenchmarkExact(b *testing.B) {
 		if out.Covering == nil {
 			b.Fatal("no covering at ρ(12)")
 		}
+		nodes += out.Nodes
 	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkExactCert is the pinned lower-bound certification benchmark
+// (see BENCH_8.json): the completed infeasibility proof of K_12 at
+// ρ(12)−1 within the paper's cycle-length class (MaxLen 4), serial. The
+// whole tree must be exhausted, so — unlike the constructive search
+// above, which stops at the first covering — this measures raw pruning
+// power; the symmetry/memo/counting-bound engine is measured against it.
+func BenchmarkExactCert(b *testing.B) {
+	const n = 12
+	b.ReportAllocs()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		out := construct.Exact(n, construct.ExactOptions{
+			Budget: cover.Rho(n) - 1, MaxLen: 4, NodeLimit: construct.DefaultNodeLimit, Parallelism: 1,
+		})
+		if out.Covering != nil || !out.Complete {
+			b.Fatalf("ρ(12)−1 must be a completed infeasibility proof, got %+v", out)
+		}
+		nodes += out.Nodes
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkExactCertRho13 certifies ρ(13) − the first ring size whose
+// lower-bound proof only became feasible inside DefaultNodeLimit with
+// the symmetry-reduced engine (BENCH_8.json): a completed exhaustion of
+// K_13 at ρ(13)−1, MaxLen 4, serial.
+func BenchmarkExactCertRho13(b *testing.B) {
+	const n = 13
+	b.ReportAllocs()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		out := construct.Exact(n, construct.ExactOptions{
+			Budget: cover.Rho(n) - 1, MaxLen: 4, NodeLimit: construct.DefaultNodeLimit, Parallelism: 1,
+		})
+		if out.Covering != nil || !out.Complete {
+			b.Fatalf("ρ(13)−1 must be a completed infeasibility proof, got %+v", out)
+		}
+		nodes += out.Nodes
+	}
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
 }
 
 // BenchmarkSweep is the pinned sweep hot-path benchmark (see

@@ -1,10 +1,17 @@
-// Command benchgate enforces the hot-path allocation budget in CI. It
-// runs a pinned set of -benchmem benchmarks — the same four the former
-// awk gate watched — parses their allocs/op figures from `go test`
-// output, and diffs the results against the pinned names: a missing
-// benchmark (renamed, deleted, or silently skipped) fails the gate just
-// as hard as a nonzero allocation count, so the budget cannot rot by
-// omission.
+// Command benchgate enforces the hot-path performance budgets in CI. It
+// runs a pinned set of -benchmem benchmarks, parses their allocs/op
+// figures — and, for the search benchmarks, the custom nodes/op metric —
+// from `go test` output, and diffs the results against the pinned names:
+// a missing benchmark (renamed, deleted, or silently skipped) fails the
+// gate just as hard as a blown budget, so neither the allocation
+// contract nor the search-effort contract can rot by omission.
+//
+// Budgets are per-metric: MaxAllocs < 0 leaves allocations ungated (the
+// exact-search end-to-end benchmarks allocate their solutions), and
+// MaxNodes 0 leaves search effort ungated (most benchmarks report no
+// nodes/op metric at all). Node counts are deterministic — the exact
+// search is pinned to be bit-identical run to run — so a nodes/op
+// ceiling is a hard regression tripwire, not a flaky timing threshold.
 //
 // Usage:
 //
@@ -25,30 +32,42 @@ import (
 	"strings"
 )
 
-// gate pins one benchmark to an allocation budget. Benchtime uses the
-// fixed-iteration "Nx" form so the run cost stays bounded in CI.
+// gate pins one benchmark to its budgets. Benchtime uses the fixed-
+// iteration "Nx" form so the run cost stays bounded in CI. MaxAllocs is
+// the inclusive allocs/op budget, or negative to leave allocations
+// ungated; MaxNodes is the inclusive nodes/op budget, or 0 to leave
+// search effort ungated.
 type gate struct {
 	Bench     string // exact benchmark function name
 	Package   string // package pattern passed to go test
 	Benchtime string // -benchtime value, e.g. "500x"
-	MaxAllocs int64  // inclusive allocs/op budget
+	MaxAllocs int64  // inclusive allocs/op budget; < 0 = ungated
+	MaxNodes  int64  // inclusive nodes/op budget; 0 = ungated
 }
 
 // gates mirrors the hot-path contract documented in DESIGN.md: the
 // verify, exact-search inner branch, sweep-evaluate, and warm
-// delta-repair paths must stay allocation-free.
+// delta-repair paths must stay allocation-free, and the symmetry-reduced
+// exact engine must keep its search-effort wins (node ceilings from
+// EXPERIMENTS.md §I, measured +10% headroom).
 var gates = []gate{
 	{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", Benchtime: "500x", MaxAllocs: 0},
 	{Bench: "BenchmarkExactInnerBranch", Package: "./internal/construct", Benchtime: "5x", MaxAllocs: 0},
 	{Bench: "BenchmarkSweepEvaluate", Package: "./internal/survive", Benchtime: "2000x", MaxAllocs: 0},
 	{Bench: "BenchmarkDeltaRepairWarm", Package: "./internal/construct", Benchtime: "500x", MaxAllocs: 0},
+	{Bench: "BenchmarkExact", Package: ".", Benchtime: "1x", MaxAllocs: -1, MaxNodes: 850},
+	{Bench: "BenchmarkExactCert", Package: ".", Benchtime: "1x", MaxAllocs: -1, MaxNodes: 7_000_000},
 }
 
-// result is one parsed benchmark line that reported an allocs/op
-// figure.
+// result is one parsed benchmark line; each metric is flagged by
+// presence, since plain benchmarks report no nodes/op and runs without
+// -benchmem report no allocs/op.
 type result struct {
-	Name   string // base name: sub-benchmark path and -P suffix stripped
-	Allocs int64
+	Name      string // base name: sub-benchmark path and -P suffix stripped
+	Allocs    int64
+	HasAllocs bool
+	Nodes     int64
+	HasNodes  bool
 }
 
 func main() {
@@ -56,7 +75,14 @@ func main() {
 	flag.Parse()
 	if *list {
 		for _, g := range gates {
-			fmt.Printf("%s\t%s\t-benchtime %s\tmax %d allocs/op\n", g.Bench, g.Package, g.Benchtime, g.MaxAllocs)
+			budgets := ""
+			if g.MaxAllocs >= 0 {
+				budgets += fmt.Sprintf("\tmax %d allocs/op", g.MaxAllocs)
+			}
+			if g.MaxNodes > 0 {
+				budgets += fmt.Sprintf("\tmax %d nodes/op", g.MaxNodes)
+			}
+			fmt.Printf("%s\t%s\t-benchtime %s%s\n", g.Bench, g.Package, g.Benchtime, budgets)
 		}
 		return
 	}
@@ -88,7 +114,9 @@ func runGate(g gate) ([]byte, error) {
 }
 
 // check diffs the parsed results against one gate's pinned name and
-// budget, returning human-readable violations.
+// budgets, returning human-readable violations. A gated metric that the
+// benchmark stopped reporting is itself a violation: silence must not
+// read as compliance.
 func check(g gate, results []result) []string {
 	var problems []string
 	seen := false
@@ -97,40 +125,66 @@ func check(g gate, results []result) []string {
 			continue
 		}
 		seen = true
-		if r.Allocs > g.MaxAllocs {
-			problems = append(problems, fmt.Sprintf("%s (%s): %d allocs/op, budget %d",
-				g.Bench, g.Package, r.Allocs, g.MaxAllocs))
+		if g.MaxAllocs >= 0 {
+			switch {
+			case !r.HasAllocs:
+				problems = append(problems, fmt.Sprintf("%s (%s): no allocs/op figure in its result line",
+					g.Bench, g.Package))
+			case r.Allocs > g.MaxAllocs:
+				problems = append(problems, fmt.Sprintf("%s (%s): %d allocs/op, budget %d",
+					g.Bench, g.Package, r.Allocs, g.MaxAllocs))
+			}
+		}
+		if g.MaxNodes > 0 {
+			switch {
+			case !r.HasNodes:
+				problems = append(problems, fmt.Sprintf("%s (%s): no nodes/op metric in its result line",
+					g.Bench, g.Package))
+			case r.Nodes > g.MaxNodes:
+				problems = append(problems, fmt.Sprintf("%s (%s): %d nodes/op, budget %d",
+					g.Bench, g.Package, r.Nodes, g.MaxNodes))
+			}
 		}
 	}
 	if !seen {
-		problems = append(problems, fmt.Sprintf("%s (%s): no allocs/op line — benchmark missing or renamed",
+		problems = append(problems, fmt.Sprintf("%s (%s): no result line — benchmark missing or renamed",
 			g.Bench, g.Package))
 	}
 	return problems
 }
 
-// parseResults extracts every benchmark line carrying an allocs/op
-// figure. The parse keys off field positions rather than column
-// offsets: the allocation count is the field immediately before the
-// trailing "allocs/op" unit, and the benchmark name is field 0 with
-// any sub-benchmark path and GOMAXPROCS suffix stripped. Lines that do
-// not fit (headers, PASS/ok trailers, partial output) are skipped.
+// parseResults extracts every benchmark line carrying an allocs/op or
+// nodes/op figure. The parse keys off field positions rather than column
+// offsets: each count is the field immediately before its unit, and the
+// benchmark name is field 0 with any sub-benchmark path and GOMAXPROCS
+// suffix stripped. nodes/op arrives via b.ReportMetric as a float
+// ("752244 nodes/op" or "1.25e+07 nodes/op"), so it parses as a float
+// and rounds. Lines that do not fit (headers, PASS/ok trailers, partial
+// output) are skipped.
 func parseResults(out []byte) []result {
 	var results []result
 	sc := bufio.NewScanner(strings.NewReader(string(out)))
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 3 || fields[len(fields)-1] != "allocs/op" {
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		if !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
+		r := result{Name: baseName(fields[0])}
+		for i := 2; i < len(fields); i++ {
+			switch fields[i] {
+			case "allocs/op":
+				if v, err := strconv.ParseInt(fields[i-1], 10, 64); err == nil {
+					r.Allocs, r.HasAllocs = v, true
+				}
+			case "nodes/op":
+				if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+					r.Nodes, r.HasNodes = int64(v+0.5), true
+				}
+			}
 		}
-		allocs, err := strconv.ParseInt(fields[len(fields)-2], 10, 64)
-		if err != nil {
-			continue
+		if r.HasAllocs || r.HasNodes {
+			results = append(results, r)
 		}
-		results = append(results, result{Name: baseName(fields[0]), Allocs: allocs})
 	}
 	return results
 }

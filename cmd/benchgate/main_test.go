@@ -5,8 +5,9 @@ import (
 	"testing"
 )
 
-// sampleOutput is a realistic go test -benchmem transcript: headers,
-// a plain result, a sub-benchmark, a noise line, and the trailers.
+// sampleOutput is a realistic go test -benchmem transcript: headers, a
+// plain result, a sub-benchmark, a search benchmark carrying the custom
+// nodes/op metric, a noise line, and the trailers.
 const sampleOutput = `goos: linux
 goarch: amd64
 pkg: github.com/cyclecover/cyclecover/internal/cover
@@ -14,7 +15,8 @@ cpu: fake
 BenchmarkVerifyWarm-8   	     500	      2104 ns/op	       0 B/op	       0 allocs/op
 BenchmarkVerifyWarm/n=19-8	     500	      4110 ns/op	      16 B/op	       2 allocs/op
 some unrelated line with allocs/op mentioned but wrong shape
-BenchmarkOther-8        	       5	 123456789 ns/op	    1024 B/op	      37 allocs/op
+BenchmarkExact-8        	      18	  66870146 ns/op	    752244 nodes/op	  145512 B/op	     743 allocs/op
+BenchmarkExactCert      	       1	4900000000 ns/op	 4.0e+07 nodes/op	    1024 B/op	      37 allocs/op
 PASS
 ok  	github.com/cyclecover/cyclecover/internal/cover	1.234s
 `
@@ -22,9 +24,10 @@ ok  	github.com/cyclecover/cyclecover/internal/cover	1.234s
 func TestParseResults(t *testing.T) {
 	got := parseResults([]byte(sampleOutput))
 	want := []result{
-		{Name: "BenchmarkVerifyWarm", Allocs: 0},
-		{Name: "BenchmarkVerifyWarm", Allocs: 2},
-		{Name: "BenchmarkOther", Allocs: 37},
+		{Name: "BenchmarkVerifyWarm", Allocs: 0, HasAllocs: true},
+		{Name: "BenchmarkVerifyWarm", Allocs: 2, HasAllocs: true},
+		{Name: "BenchmarkExact", Allocs: 743, HasAllocs: true, Nodes: 752244, HasNodes: true},
+		{Name: "BenchmarkExactCert", Allocs: 37, HasAllocs: true, Nodes: 40_000_000, HasNodes: true},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
@@ -39,13 +42,24 @@ func TestParseResults(t *testing.T) {
 func TestParseResultsSkipsMalformed(t *testing.T) {
 	malformed := strings.Join([]string{
 		"BenchmarkBroken-8 500 2 ns/op NaN allocs/op", // non-numeric count
-		"allocs/op",                     // too short
-		"NotABenchmark 1 0 allocs/op",   // name without Benchmark prefix
-		"BenchmarkTail-8 1 7 allocs/op", // valid minimal shape
+		"allocs/op",                   // too short
+		"NotABenchmark 1 0 allocs/op", // name without Benchmark prefix
+		"BenchmarkNodesOnly-8 1 2 ns/op 1500 nodes/op", // nodes metric without -benchmem
+		"BenchmarkTail-8 1 7 allocs/op",                // valid minimal shape
+		"BenchmarkBadNodes-8 1 2 ns/op wat nodes/op",   // non-numeric nodes, no allocs
 	}, "\n")
 	got := parseResults([]byte(malformed))
-	if len(got) != 1 || got[0] != (result{Name: "BenchmarkTail", Allocs: 7}) {
-		t.Fatalf("parsed %v, want only BenchmarkTail=7", got)
+	want := []result{
+		{Name: "BenchmarkNodesOnly", Nodes: 1500, HasNodes: true},
+		{Name: "BenchmarkTail", Allocs: 7, HasAllocs: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 
@@ -67,7 +81,7 @@ func TestBaseName(t *testing.T) {
 
 func TestCheckPassesWithinBudget(t *testing.T) {
 	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
-	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 0}})
+	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 0, HasAllocs: true}})
 	if len(problems) != 0 {
 		t.Fatalf("unexpected problems: %v", problems)
 	}
@@ -75,7 +89,7 @@ func TestCheckPassesWithinBudget(t *testing.T) {
 
 func TestCheckFlagsNonzeroAllocs(t *testing.T) {
 	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
-	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 3}})
+	problems := check(g, []result{{Name: "BenchmarkVerifyWarm", Allocs: 3, HasAllocs: true}})
 	if len(problems) != 1 || !strings.Contains(problems[0], "3 allocs/op") {
 		t.Fatalf("problems = %v, want one nonzero-allocs violation", problems)
 	}
@@ -83,36 +97,73 @@ func TestCheckFlagsNonzeroAllocs(t *testing.T) {
 
 func TestCheckFlagsMissingBenchmark(t *testing.T) {
 	g := gate{Bench: "BenchmarkVerifyWarm", Package: "./internal/cover", MaxAllocs: 0}
-	problems := check(g, []result{{Name: "BenchmarkSomethingElse", Allocs: 0}})
+	problems := check(g, []result{{Name: "BenchmarkSomethingElse", Allocs: 0, HasAllocs: true}})
 	if len(problems) != 1 || !strings.Contains(problems[0], "missing or renamed") {
 		t.Fatalf("problems = %v, want one missing-benchmark violation", problems)
 	}
 }
 
+// TestCheckNodesBudget exercises the nodes/op contract the same way the
+// alloc contract is exercised: within budget passes, over budget fails,
+// and a gated benchmark that stopped reporting the metric fails too.
+func TestCheckNodesBudget(t *testing.T) {
+	g := gate{Bench: "BenchmarkExactCert", Package: ".", MaxAllocs: -1, MaxNodes: 1000}
+
+	ok := []result{{Name: "BenchmarkExactCert", Allocs: 99, HasAllocs: true, Nodes: 1000, HasNodes: true}}
+	if problems := check(g, ok); len(problems) != 0 {
+		t.Fatalf("within-budget problems: %v (allocs must be ungated at MaxAllocs<0)", problems)
+	}
+
+	over := []result{{Name: "BenchmarkExactCert", Nodes: 1001, HasNodes: true}}
+	if problems := check(g, over); len(problems) != 1 || !strings.Contains(problems[0], "1001 nodes/op") {
+		t.Fatalf("problems = %v, want one over-node-budget violation", problems)
+	}
+
+	silent := []result{{Name: "BenchmarkExactCert", Allocs: 0, HasAllocs: true}}
+	if problems := check(g, silent); len(problems) != 1 || !strings.Contains(problems[0], "no nodes/op metric") {
+		t.Fatalf("problems = %v, want one missing-metric violation", problems)
+	}
+}
+
 // TestGatesMatchPinnedContract guards the pinned set itself: the four
-// hot paths with a zero budget. Editing the set is a deliberate act
-// that must touch this test too.
+// allocation-free hot paths plus the two node-budgeted search
+// benchmarks. Editing the set is a deliberate act that must touch this
+// test too.
 func TestGatesMatchPinnedContract(t *testing.T) {
-	want := map[string]string{
-		"BenchmarkVerifyWarm":       "./internal/cover",
-		"BenchmarkExactInnerBranch": "./internal/construct",
-		"BenchmarkSweepEvaluate":    "./internal/survive",
-		"BenchmarkDeltaRepairWarm":  "./internal/construct",
+	type budget struct {
+		pkg    string
+		allocs int64
+		nodes  bool // whether a nodes/op ceiling must be pinned
+	}
+	want := map[string]budget{
+		"BenchmarkVerifyWarm":       {pkg: "./internal/cover"},
+		"BenchmarkExactInnerBranch": {pkg: "./internal/construct"},
+		"BenchmarkSweepEvaluate":    {pkg: "./internal/survive"},
+		"BenchmarkDeltaRepairWarm":  {pkg: "./internal/construct"},
+		"BenchmarkExact":            {pkg: ".", allocs: -1, nodes: true},
+		"BenchmarkExactCert":        {pkg: ".", allocs: -1, nodes: true},
 	}
 	if len(gates) != len(want) {
 		t.Fatalf("%d gates pinned, want %d", len(gates), len(want))
 	}
 	for _, g := range gates {
-		pkg, ok := want[g.Bench]
+		w, ok := want[g.Bench]
 		if !ok {
 			t.Errorf("unexpected gate %q", g.Bench)
 			continue
 		}
-		if g.Package != pkg {
-			t.Errorf("%s pinned to %s, want %s", g.Bench, g.Package, pkg)
+		if g.Package != w.pkg {
+			t.Errorf("%s pinned to %s, want %s", g.Bench, g.Package, w.pkg)
 		}
-		if g.MaxAllocs != 0 {
-			t.Errorf("%s budget %d, want 0", g.Bench, g.MaxAllocs)
+		if w.allocs < 0 {
+			if g.MaxAllocs >= 0 {
+				t.Errorf("%s allocs budget %d, want ungated (<0)", g.Bench, g.MaxAllocs)
+			}
+		} else if g.MaxAllocs != w.allocs {
+			t.Errorf("%s allocs budget %d, want %d", g.Bench, g.MaxAllocs, w.allocs)
+		}
+		if w.nodes != (g.MaxNodes > 0) {
+			t.Errorf("%s nodes ceiling %d, want pinned=%v", g.Bench, g.MaxNodes, w.nodes)
 		}
 		if !strings.HasSuffix(g.Benchtime, "x") {
 			t.Errorf("%s benchtime %q, want fixed-iteration Nx form", g.Bench, g.Benchtime)

@@ -22,6 +22,14 @@
 //	cycled -addr 127.0.0.1:9000 -workers 8 -cache 512 -queue 128
 //	cycled -plan-timeout 2s       # bound each plan request; expiry → 504
 //	cycled -snapshot plans.snap   # warm the cache at boot, persist on exit
+//	cycled -pprof 127.0.0.1:6060  # profiling endpoints on a second listener
+//
+// With -pprof set, the daemon exposes the net/http/pprof endpoints
+// (/debug/pprof/...) on a second, dedicated listener so live planning
+// traffic can be profiled without routing profile downloads through the
+// serving mux. The flag is off by default and the listener must resolve
+// to a loopback address — the profiling surface dumps goroutine stacks
+// and heap contents and is never meant to be reachable off-host.
 //
 // With -snapshot set, the daemon warms its covering cache from the named
 // snapshot file at startup (a missing file starts cold; an unreadable or
@@ -51,6 +59,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,25 +76,26 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	planTimeout := flag.Duration("plan-timeout", 0, "per-request plan deadline; expiry answers 504 and cancels the search (0 = none)")
 	snapshot := flag.String("snapshot", "", "cache snapshot file: warm at boot, persist atomically on shutdown (empty = disabled)")
+	pprofAddr := flag.String("pprof", "", "loopback address for net/http/pprof profiling endpoints (empty = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue, PlanTimeout: *planTimeout}
-	if err := run(ctx, *addr, cfg, *snapshot, *drain, os.Stderr, nil); err != nil {
+	if err := run(ctx, *addr, *pprofAddr, cfg, *snapshot, *drain, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cycled:", err)
 		os.Exit(1)
 	}
 }
 
 // run serves until ctx is cancelled, then drains and returns. onReady, if
-// non-nil, receives the bound address once the listener is up (the tests
-// use it with a ":0" address). A non-empty snapshot path warms the cache
-// before listening — load failures are logged and skipped, never fatal,
-// so a corrupt snapshot cannot poison startup — and persists it after the
-// drain.
-func run(ctx context.Context, addr string, cfg server.Config, snapshot string, drain time.Duration, logw io.Writer, onReady func(addr string)) error {
+// non-nil, receives the bound addresses once the listeners are up (the
+// tests use it with ":0" addresses; pprofAddr is "" when profiling is
+// disabled). A non-empty snapshot path warms the cache before listening —
+// load failures are logged and skipped, never fatal, so a corrupt
+// snapshot cannot poison startup — and persists it after the drain.
+func run(ctx context.Context, addr, pprofAddr string, cfg server.Config, snapshot string, drain time.Duration, logw io.Writer, onReady func(addr, pprofAddr string)) error {
 	srv := server.New(cfg)
 	if snapshot != "" {
 		if loaded, skipped, err := srv.Plans().LoadSnapshotFile(snapshot); err != nil {
@@ -93,6 +103,15 @@ func run(ctx context.Context, addr string, cfg server.Config, snapshot string, d
 		} else if loaded > 0 || skipped > 0 {
 			fmt.Fprintf(logw, "cycled: warmed %d plans from %s (%d skipped)\n", loaded, snapshot, skipped)
 		}
+	}
+	var pln net.Listener
+	if pprofAddr != "" {
+		var err error
+		if pln, err = listenPprof(pprofAddr); err != nil {
+			srv.Close()
+			return err
+		}
+		defer pln.Close()
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -103,10 +122,20 @@ func run(ctx context.Context, addr string, cfg server.Config, snapshot string, d
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	boundPprof := ""
+	if pln != nil {
+		ps := &http.Server{Handler: pprofMux()}
+		// The profiling server lives and dies with the daemon: no drain on
+		// shutdown (an interrupted profile download is harmless), just the
+		// deferred listener close.
+		go ps.Serve(pln)
+		boundPprof = pln.Addr().String()
+		fmt.Fprintf(logw, "cycled: pprof on http://%s/debug/pprof/\n", boundPprof)
+	}
 	fmt.Fprintf(logw, "cycled: listening on %s (workers=%d cache=%d queue=%d plan-timeout=%s)\n",
 		ln.Addr(), cfg.Workers, cfg.CacheSize, cfg.Queue, cfg.PlanTimeout)
 	if onReady != nil {
-		onReady(ln.Addr().String())
+		onReady(ln.Addr().String(), boundPprof)
 	}
 
 	select {
@@ -135,4 +164,36 @@ func run(ctx context.Context, addr string, cfg server.Config, snapshot string, d
 		}
 	}
 	return shutErr
+}
+
+// listenPprof binds the profiling listener and enforces the loopback-only
+// contract: the bound address (not the requested string, which may name
+// an interface indirectly) must be a loopback IP, or the listener is
+// closed and startup fails. Profiling endpoints expose goroutine stacks
+// and heap contents, so an off-host binding is always a misconfiguration.
+func listenPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen: %w", err)
+	}
+	tcp, ok := ln.Addr().(*net.TCPAddr)
+	if !ok || !tcp.IP.IsLoopback() {
+		ln.Close()
+		return nil, fmt.Errorf("pprof address %s is not loopback; refusing to expose profiling off-host", ln.Addr())
+	}
+	return ln, nil
+}
+
+// pprofMux routes the standard net/http/pprof surface on a dedicated
+// mux. Registration is explicit rather than via the package's
+// DefaultServeMux side effect, so the profiling surface exists only on
+// the -pprof listener and can never leak onto the serving handler.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -22,8 +22,8 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", server.Config{CacheSize: 16, Workers: 2, Queue: 8},
-			"", 5*time.Second, io.Discard, func(addr string) { ready <- addr })
+		done <- run(ctx, "127.0.0.1:0", "", server.Config{CacheSize: 16, Workers: 2, Queue: 8},
+			"", 5*time.Second, io.Discard, func(addr, _ string) { ready <- addr })
 	}()
 
 	var addr string
@@ -124,11 +124,11 @@ func TestDaemonRejectsBusyAddress(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", server.Config{Workers: 1}, "", time.Second, io.Discard,
-			func(addr string) { ready <- addr })
+		done <- run(ctx, "127.0.0.1:0", "", server.Config{Workers: 1}, "", time.Second, io.Discard,
+			func(addr, _ string) { ready <- addr })
 	}()
 	addr := <-ready
-	if err := run(ctx, addr, server.Config{Workers: 1}, "", time.Second, io.Discard, nil); err == nil {
+	if err := run(ctx, addr, "", server.Config{Workers: 1}, "", time.Second, io.Discard, nil); err == nil {
 		t.Fatal("second daemon bound an occupied address")
 	} else if !strings.Contains(err.Error(), "address") && !strings.Contains(err.Error(), "in use") {
 		t.Logf("listen error (accepted): %v", err)

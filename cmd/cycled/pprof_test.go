@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cyclecover/cyclecover/internal/server"
+)
+
+// TestPprofListenerServesProfiles boots the daemon with -pprof enabled on
+// an ephemeral loopback port and smoke-tests the profiling surface: the
+// endpoints answer on the dedicated listener, and the serving mux does
+// NOT expose them.
+func TestPprofListenerServesProfiles(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type addrs struct{ api, pprof string }
+	ready := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", "127.0.0.1:0", server.Config{Workers: 1, Queue: 4},
+			"", 5*time.Second, io.Discard, func(addr, pprofAddr string) { ready <- addrs{addr, pprofAddr} })
+	}()
+
+	var a addrs
+	select {
+	case a = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	if a.pprof == "" {
+		t.Fatal("onReady reported no pprof address with -pprof set")
+	}
+
+	resp, err := http.Get("http://" + a.pprof + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d (%s)", resp.StatusCode, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline returned an empty body")
+	}
+
+	resp, err = http.Get("http://" + a.pprof + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(index), "goroutine") {
+		t.Fatalf("/debug/pprof/ index bogus: status=%d body=%.80s", resp.StatusCode, index)
+	}
+
+	// The serving mux must not expose the profiling surface.
+	resp, err = http.Get("http://" + a.api + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("profiling endpoints leaked onto the serving listener")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v, want nil", err)
+	}
+}
+
+// TestPprofRejectsNonLoopback pins the safety contract: a wildcard
+// profiling address fails startup instead of exposing pprof off-host.
+func TestPprofRejectsNonLoopback(t *testing.T) {
+	err := run(context.Background(), "127.0.0.1:0", ":0", server.Config{Workers: 1},
+		"", time.Second, io.Discard, nil)
+	if err == nil || !strings.Contains(err.Error(), "loopback") {
+		t.Fatalf("run with wildcard pprof addr = %v, want loopback refusal", err)
+	}
+}

@@ -24,8 +24,8 @@ func bootDaemon(t *testing.T, snapshot string) (base string, logs *strings.Build
 	done := make(chan error, 1)
 	var sb strings.Builder
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", server.Config{CacheSize: 16, Workers: 2, Queue: 8},
-			snapshot, 5*time.Second, &sb, func(addr string) { ready <- addr })
+		done <- run(ctx, "127.0.0.1:0", "", server.Config{CacheSize: 16, Workers: 2, Queue: 8},
+			snapshot, 5*time.Second, &sb, func(addr, _ string) { ready <- addr })
 	}()
 	select {
 	case addr := <-ready:

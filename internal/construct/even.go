@@ -22,9 +22,13 @@ const exactEvenLimit = 12
 // optimality on mid-size rings.
 const searchEvenLimit = 20
 
-// evenExactNodes bounds the embedded exact search. The searches for
-// n ≤ exactEvenLimit complete far below this.
-const evenExactNodes = 8_000_000
+// evenExactNodes bounds the embedded exact search. With the symmetry-
+// reduced engine the hardest case below exactEvenLimit is n=10 at
+// ~4.6M nodes serial (newly constructible — the unpruned engine burned
+// 40M nodes on it without finding anything); n=12 needs under a
+// thousand. The budget leaves parallel searches headroom for the nodes
+// their extra subtrees burn before the canonical winner cancels them.
+const evenExactNodes = 6_000_000
 
 var evenCache = struct {
 	sync.Mutex

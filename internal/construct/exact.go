@@ -10,6 +10,7 @@ import (
 
 	"github.com/cyclecover/cyclecover/internal/cover"
 	"github.com/cyclecover/cyclecover/internal/fanout"
+	"github.com/cyclecover/cyclecover/internal/graph"
 	"github.com/cyclecover/cyclecover/internal/ring"
 )
 
@@ -48,13 +49,31 @@ type ExactOptions struct {
 	// an exhaustion proof.
 	Bound *atomic.Int64
 	// Scratch, when non-nil, supplies reusable search state — the
-	// residual coverage matrix, the per-depth candidate arenas and the
-	// precomputed distance tables — so a warm repeated search allocates
-	// nothing beyond its solution. A Scratch is owned by one search at a
-	// time: it is not safe for concurrent use, and a parallel search uses
-	// it only for the root enumeration (each worker keeps its own). The
-	// search result is bit-identical with or without a Scratch.
+	// residual coverage matrix, the per-depth candidate arenas, the
+	// precomputed distance tables and the residual transposition table —
+	// so a warm repeated search allocates nothing beyond its solution. A
+	// Scratch is owned by one search at a time: it is not safe for
+	// concurrent use, and a parallel search uses it only for the root
+	// enumeration (each worker keeps its own). The search result is
+	// bit-identical with or without a Scratch (the memo table is
+	// epoch-stamped: every search starts from an empty table, so reuse
+	// never changes node counts).
 	Scratch *ExactScratch
+	// DisableSymmetry turns off orbit pruning: candidates are enumerated
+	// exhaustively instead of up to the automorphisms of the residual
+	// demand. A symmetry-pruned search reaches the same cost and the
+	// same Complete verdict as the unpruned one (pinned by the
+	// equivalence property test) but may return a different — symmetric —
+	// representative covering, and explores far fewer nodes. For
+	// ablations and the equivalence tests.
+	DisableSymmetry bool
+	// DisableMemo turns off the residual transposition table. Because
+	// memo hits only ever replace subtrees already proven infeasible,
+	// the search visits the same solutions in the same order with or
+	// without it: covering and Complete are bit-identical whenever both
+	// runs finish within NodeLimit; only Nodes changes. For ablations
+	// and the equivalence tests.
+	DisableMemo bool
 }
 
 // ExactScratch is caller-owned reusable state for Exact/ExactCtx. The
@@ -177,6 +196,7 @@ type depthScratch struct {
 	side0, side1 []int // arc interiors of the branch pair
 	cur          []int // subset enumeration scratch: chosen vertices
 	curIdx       []int // subset enumeration scratch: chosen side indices
+	sym          []int // orbit filter scratch: a candidate's image under a map
 }
 
 // sort.Interface over cands: most-constraining first — more uncovered
@@ -196,6 +216,32 @@ func (ds *depthScratch) Less(i, j int) bool {
 	return lexLess(ds.verts[a.off:a.off+a.k], ds.verts[b.off:b.off+b.k])
 }
 
+// dihedralMap is one automorphism of the ring: a rotation x ↦ x+r or a
+// reflection x ↦ r−x (indices mod n). The residual-automorphism search
+// only ever considers dihedral maps — they are exactly the bijections
+// preserving ring distances, so they preserve candidate structure,
+// branching scores and every counting bound.
+type dihedralMap struct {
+	refl bool
+	r    int
+}
+
+// memoEntry is one slot of the residual transposition table: the packed
+// canonical residual key, the largest cycle budget proven infeasible for
+// it, and the epoch stamp that scopes the proof to the search that made
+// it. Entries are collision-checked: a lookup compares the full key, so
+// a hash collision can never convert a different residual's proof into
+// a bogus cut.
+type memoEntry struct {
+	key   graph.PairKey
+	left  int32
+	epoch uint32
+}
+
+// memoProbes is the open-addressing probe window: a lookup or store
+// touches at most this many consecutive slots.
+const memoProbes = 4
+
 type exactState struct {
 	r    ring.Ring
 	n    int
@@ -204,11 +250,33 @@ type exactState struct {
 	covered []bool  // pair u*n+v (u<v) → covered
 	dist    []int32 // short-arc distance per pair index (precomputed)
 	diam    []bool  // diameter flag per pair index (precomputed)
-	tablesN int     // ring size the dist/diam tables were built for
+	rankOf  []int32 // pair index u*n+v (u<v) → triangular pair rank
+	tablesN int     // ring size the dist/diam/rank tables were built for
 
 	uncovered      int
 	remainingDist  int
 	uncoveredDiams int
+	uncDeg         []int32 // per-vertex count of uncovered incident pairs
+	sumCeilHalf    int     // Σ_v ⌈uncDeg[v]/2⌉, maintained incrementally
+
+	// key is the packed canonical residual: bit = pair covered, in
+	// ascending pair-rank order, flipped incrementally by apply/undo.
+	key graph.PairKey
+	// memo is the fixed-size residual transposition table; memoOn gates
+	// every probe (false when the ring exceeds the key capacity or the
+	// caller disabled it). epoch stamps entries so a reset invalidates
+	// the whole table in O(1) without clearing it.
+	memo     []memoEntry
+	memoMask uint32
+	memoOn   bool
+	epoch    uint32
+
+	// stab holds the verified automorphisms of the residual demand that
+	// stabilize the current branch pair — at most 3 non-identity dihedral
+	// maps (the pair stabilizer in D_n has order ≤ 4). Recomputed at
+	// every node by computeStab.
+	stab  [3]dihedralMap
+	nstab int
 
 	chosen   []candidate // chosen[d] applied at depth d, refs depths[d]
 	depths   []depthScratch
@@ -219,10 +287,13 @@ type exactState struct {
 	// at every branch boundary (countNode) so a cancel or deadline stops
 	// the search within one node expansion.
 	done <-chan struct{}
-	// boundCut records that at least one subtree was cut by the shared
-	// competitor bound (opts.Bound), which forfeits any completeness
-	// claim: the cut is relative to a competitor, not an exhaustion proof.
-	boundCut bool
+	// boundCuts counts subtrees cut by the shared competitor bound
+	// (opts.Bound). Any cut forfeits the outcome's completeness claim —
+	// it is relative to a competitor, not an exhaustion proof — and a
+	// subtree is admitted to the memo table only if it finished with no
+	// new cuts inside it (see search), so memoized infeasibility is
+	// always a genuine proof.
+	boundCuts int64
 
 	// Parallel-search hooks; nil/zero in the serial search.
 	shared    *atomic.Int64 // node budget shared across workers
@@ -247,14 +318,19 @@ func (s *exactState) reset(r ring.Ring, n int, opts ExactOptions) {
 		if cap(s.dist) < nn {
 			s.dist = make([]int32, nn)
 			s.diam = make([]bool, nn)
+			s.rankOf = make([]int32, nn)
 		} else {
 			s.dist = s.dist[:nn]
 			s.diam = s.diam[:nn]
+			s.rankOf = s.rankOf[:nn]
 		}
+		rank := int32(0)
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
 				s.dist[u*n+v] = int32(r.Dist(u, v))
 				s.diam[u*n+v] = r.IsDiameter(u, v)
+				s.rankOf[u*n+v] = rank
+				rank++
 			}
 		}
 		s.tablesN = n
@@ -269,6 +345,18 @@ func (s *exactState) reset(r ring.Ring, n int, opts ExactOptions) {
 			}
 		}
 	}
+	if cap(s.uncDeg) < n {
+		s.uncDeg = make([]int32, n)
+	} else {
+		s.uncDeg = s.uncDeg[:n]
+	}
+	for v := range s.uncDeg {
+		s.uncDeg[v] = int32(n - 1)
+	}
+	s.sumCeilHalf = n * (n / 2) // n·⌈(n−1)/2⌉
+	s.key.Clear()
+	s.resetMemo(n, opts)
+	s.nstab = 0
 	// Pre-grow the per-depth arena list: enumeration happens only at
 	// depths below Budget, so no dsAt call can reallocate s.depths while
 	// a search holds a *depthScratch into it.
@@ -279,9 +367,107 @@ func (s *exactState) reset(r ring.Ring, n int, opts ExactOptions) {
 	s.solution = nil
 	s.nodes = 0
 	s.done = nil
-	s.boundCut = false
+	s.boundCuts = 0
 	s.shared, s.bestIdx, s.myIdx = nil, nil, 0
 	s.cancelled = false
+}
+
+// memoBitsFor sizes the transposition table by ring size: small rings
+// finish in few nodes and do not repay a large table, while the
+// certification-scale searches want headroom before replacement kicks
+// in. The size depends only on n, so scratch-vs-fresh and
+// serial-vs-parallel searches stay node-for-node identical.
+func memoBitsFor(n int) int {
+	if n < 10 {
+		return 10
+	}
+	if n < 12 {
+		return 14
+	}
+	return 18
+}
+
+// resetMemo prepares the transposition table for a fresh search:
+// eligible searches get a table sized for n with every prior entry
+// invalidated by the epoch bump (an O(1) reset — the table is not
+// cleared). Proofs never carry across searches, so a reused Scratch is
+// bit-identical to a fresh one, node counts included.
+func (s *exactState) resetMemo(n int, opts ExactOptions) {
+	if opts.DisableMemo || graph.PairCount(n) > graph.MaxKeyPairs {
+		s.memoOn = false
+		return
+	}
+	size := 1 << memoBitsFor(n)
+	if len(s.memo) != size {
+		s.memo = make([]memoEntry, size)
+		s.memoMask = uint32(size - 1)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		// Epoch counter wrapped: stamps from 2³² searches ago could alias
+		// as current, so pay for one real clear.
+		clear(s.memo)
+		s.epoch = 1
+	}
+	s.memoOn = true
+}
+
+// memoHit reports whether the current residual is already proven
+// infeasible with `left` cycles remaining: a stored proof at the same
+// residual with an equal or larger budget applies a fortiori. The probe
+// is collision-checked against the full packed key.
+//
+//cyclecover:noalloc
+func (s *exactState) memoHit(left int) bool {
+	if !s.memoOn {
+		return false
+	}
+	i := uint32(s.key.Hash()) & s.memoMask
+	for p := uint32(0); p < memoProbes; p++ {
+		e := &s.memo[(i+p)&s.memoMask]
+		if e.epoch == s.epoch && e.left >= int32(left) && e.key == s.key {
+			return true
+		}
+	}
+	return false
+}
+
+// memoStore records that the current residual has no completion within
+// `left` cycles. Callers must only invoke it for subtrees explored to
+// exhaustion with no budget, context, cancellation or competitor-bound
+// cut inside (see search): entries are proofs, never heuristics. Within
+// the probe window, an existing entry for the same residual keeps the
+// larger budget; otherwise the stalest slot — then the one holding the
+// weakest proof (smallest left) — is replaced, deterministically.
+//
+//cyclecover:noalloc
+func (s *exactState) memoStore(left int) {
+	if !s.memoOn {
+		return
+	}
+	i := uint32(s.key.Hash()) & s.memoMask
+	victim := &s.memo[i&s.memoMask]
+	for p := uint32(0); p < memoProbes; p++ {
+		e := &s.memo[(i+p)&s.memoMask]
+		if e.epoch == s.epoch && e.key == s.key {
+			if int32(left) > e.left {
+				e.left = int32(left)
+			}
+			return
+		}
+		if e.epoch != s.epoch {
+			// Stale slot: free under the current epoch.
+			victim = e
+			break
+		}
+		if e.left < victim.left {
+			victim = e
+		}
+	}
+	victim.key = s.key
+	victim.left = int32(left)
+	victim.epoch = s.epoch
 }
 
 // dsAt returns the arena for a depth, growing the arena list on demand
@@ -295,7 +481,7 @@ func (s *exactState) dsAt(depth int) *depthScratch {
 
 // outcome packages the state's solution (if any) as an ExactOutcome.
 func (s *exactState) outcome(complete bool, nodes int64) ExactOutcome {
-	out := ExactOutcome{Complete: complete && !s.boundCut, Nodes: nodes}
+	out := ExactOutcome{Complete: complete && s.boundCuts == 0, Nodes: nodes}
 	if s.solution != nil {
 		out.Covering = buildCovering(s.r, s.solution)
 	}
@@ -315,8 +501,10 @@ func buildCovering(r ring.Ring, sol [][]int) *cover.Covering {
 
 // pruned reports whether the subtree at depth is cut by the bounds; a
 // pruned subtree counts as (vacuously) fully explored, except for cuts
-// induced by the shared competitor bound, which are recorded in boundCut
+// induced by the shared competitor bound, which are counted in boundCuts
 // and downgrade the outcome to Complete=false.
+//
+//cyclecover:noalloc
 func (s *exactState) pruned(depth int) bool {
 	if s.prunedAt(s.opts.Budget, depth) {
 		return true
@@ -326,14 +514,18 @@ func (s *exactState) pruned(depth int) bool {
 		// are useful; re-read on every node so a late improvement still
 		// tightens the search.
 		if b := s.opts.Bound.Load(); b <= int64(s.opts.Budget) && s.prunedAt(int(b)-1, depth) {
-			s.boundCut = true
+			s.boundCuts++
 			return true
 		}
 	}
 	return false
 }
 
-// prunedAt applies the unconditional cuts for a given cycle budget.
+// prunedAt applies the unconditional, admissible cuts for a given cycle
+// budget: every bound here is a statement no covering of the residual
+// can violate, so a cut subtree is genuinely exhausted.
+//
+//cyclecover:noalloc
 func (s *exactState) prunedAt(budget, depth int) bool {
 	left := budget - depth
 	if left <= 0 ||
@@ -341,9 +533,30 @@ func (s *exactState) prunedAt(budget, depth int) bool {
 		left < s.uncoveredDiams {
 		return true
 	}
-	// Slot bound: a cycle of length k covers exactly k pairs, so with a
-	// length cap each remaining cycle covers at most MaxLen new pairs.
-	return s.opts.MaxLen > 0 && left*s.opts.MaxLen < s.uncovered
+	// Counting bound with the degree parity refinement (DESIGN.md §10):
+	// a cycle of length k covers exactly k pairs and visits k vertices,
+	// reducing ⌈uncDeg/2⌉ by at most 1 at each, so it lowers
+	// Σ_v ⌈uncDeg[v]/2⌉ by at most k ≤ maxPairs. Since Σ uncDeg =
+	// 2·uncovered, this subsumes the plain ⌈uncovered/maxPairs⌉ slot
+	// bound and bites a full cycle earlier whenever residual degrees are
+	// odd — the paper's parity argument for the even-n +1.
+	maxPairs := s.opts.MaxLen
+	if maxPairs <= 0 || maxPairs > s.n {
+		maxPairs = s.n
+	}
+	if left*maxPairs < s.sumCeilHalf {
+		return true
+	}
+	// Per-vertex form: a cycle visits a vertex at most once, covering at
+	// most two of its incident pairs, so the busiest vertex alone needs
+	// ⌈maxUncDeg/2⌉ of the remaining cycles.
+	var maxd int32
+	for _, d := range s.uncDeg {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	return left < int(maxd+1)/2
 }
 
 // countNode charges one node against the budget; false means the budget
@@ -398,16 +611,40 @@ func (s *exactState) search(depth int) bool {
 		s.cancelled = true
 		return false
 	}
+	left := s.opts.Budget - depth
+	if s.memoHit(left) {
+		// This residual was already proven infeasible with at least this
+		// many cycles remaining: the whole subtree is a replay.
+		return true
+	}
+	bc0 := s.boundCuts
 
 	u, v := s.pickBranchPair()
 	s.enumerate(depth, u, v)
 	ds := &s.depths[depth]
 	for ci := 0; ci < len(ds.cands); ci++ {
-		if !s.countNode() {
-			return false
-		}
 		c := ds.cands[ci]
 		s.apply(depth, c)
+		// Forward check: a child the admissible bounds cut at entry is not
+		// a node — it is rejected here, before being charged, exactly as
+		// its own first pruned() call would have (the unconditional cuts
+		// run first there too, so no boundCut accounting is skipped). The
+		// rejection still polls cancellation so the latency contract
+		// (surface within one node expansion) survives a long run of
+		// forward-pruned siblings.
+		if s.uncovered > 0 && s.prunedAt(s.opts.Budget, depth+1) {
+			s.undo(depth)
+			select {
+			case <-s.done:
+				return false
+			default:
+			}
+			continue
+		}
+		if !s.countNode() {
+			s.undo(depth)
+			return false
+		}
 		s.chosen = append(s.chosen, c)
 		done := s.search(depth + 1)
 		s.chosen = s.chosen[:len(s.chosen)-1]
@@ -418,6 +655,13 @@ func (s *exactState) search(depth int) bool {
 		if !done {
 			return false
 		}
+	}
+	// Memo admission rule: every candidate subtree ran to exhaustion with
+	// no solution (truncations returned false above), and no competitor-
+	// bound cut happened inside (bc0 snapshot) — so "no covering of this
+	// residual within `left` cycles" is a proven fact, safe to reuse.
+	if s.boundCuts == bc0 {
+		s.memoStore(left)
 	}
 	return true
 }
@@ -445,7 +689,7 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 		return root.outcome(true, 0)
 	}
 	if root.pruned(0) {
-		return ExactOutcome{Complete: !root.boundCut}
+		return ExactOutcome{Complete: root.boundCuts == 0}
 	}
 	u, v := root.pickBranchPair()
 	root.enumerate(0, u, v)
@@ -498,7 +742,7 @@ func exactParallel(ctx context.Context, r ring.Ring, n int, opts ExactOptions, w
 				st.undo(0)
 				results[i] = subOutcome{
 					solution:  st.solution,
-					complete:  done && !st.boundCut,
+					complete:  done && st.boundCuts == 0,
 					cancelled: st.cancelled,
 					nodes:     st.nodes,
 				}
@@ -600,7 +844,110 @@ func (s *exactState) enumerate(depth, u, v int) {
 	ds.side1 = s.interior(v, u, ds.side1[:0])
 	s.subsetsFrom(ds, u, v, ds.side0)
 	s.subsetsFrom(ds, u, v, ds.side1)
+	s.computeStab(u, v)
+	if s.nstab > 0 {
+		// Orbit pruning: keep only the lexicographically minimal
+		// representative of each candidate orbit under the verified
+		// residual automorphisms. Compaction preserves relative order; the
+		// dropped candidates' arena storage simply goes unreferenced.
+		kept := ds.cands[:0]
+		for _, c := range ds.cands {
+			if s.isOrbitRep(ds, c) {
+				kept = append(kept, c)
+			}
+		}
+		ds.cands = kept
+	}
 	sort.Sort(ds)
+}
+
+// sigma applies a dihedral map to a vertex.
+//
+//cyclecover:noalloc
+func (s *exactState) sigma(m dihedralMap, x int) int {
+	if m.refl {
+		if y := m.r - x; y >= 0 {
+			return y
+		}
+		return m.r - x + s.n
+	}
+	if y := x + m.r; y < s.n {
+		return y
+	}
+	return x + m.r - s.n
+}
+
+// computeStab collects the non-identity dihedral maps that stabilize the
+// branch pair {u, v} as a set AND are automorphisms of the residual
+// demand. The stabilizer of a pair in D_n has order at most 4, so at
+// most three non-identity maps are ever candidates: the reflection
+// swapping u and v (axis through the pair), and — when {u, v} is a
+// diameter — the half-turn rotation and the reflection fixing both
+// endpoints. Each map stabilizing the pair maps the two arc interiors
+// onto arc interiors, hence permutes the candidate set of this node;
+// being a residual automorphism it preserves gains, distances and every
+// counting bound, so orbit-equivalent candidates root exhaustively
+// equivalent subtrees.
+//
+//cyclecover:noalloc
+func (s *exactState) computeStab(u, v int) {
+	s.nstab = 0
+	if s.opts.DisableSymmetry {
+		return
+	}
+	s.tryStab(dihedralMap{refl: true, r: s.r.Norm(u + v)})
+	if s.diam[u*s.n+v] {
+		s.tryStab(dihedralMap{r: s.n / 2})
+		s.tryStab(dihedralMap{refl: true, r: s.r.Norm(2 * u)})
+	}
+}
+
+// tryStab verifies a dihedral map against the residual demand and, if it
+// is an automorphism, records it. The O(n) degree-signature prefilter
+// rejects most non-automorphisms before the O(n²) covered-matrix check.
+//
+//cyclecover:noalloc
+func (s *exactState) tryStab(m dihedralMap) {
+	for x := 0; x < s.n; x++ {
+		if s.uncDeg[s.sigma(m, x)] != s.uncDeg[x] {
+			return
+		}
+	}
+	for a := 0; a < s.n; a++ {
+		row := a * s.n
+		sa := s.sigma(m, a)
+		for b := a + 1; b < s.n; b++ {
+			if s.covered[row+b] != s.covered[s.pairIdx(sa, s.sigma(m, b))] {
+				return
+			}
+		}
+	}
+	s.stab[s.nstab] = m
+	s.nstab++
+}
+
+// isOrbitRep reports whether the candidate is the representative of its
+// orbit we keep: no verified stabilizer map sends its vertex set to a
+// lexicographically smaller one. The filter need not close the maps
+// under composition to stay sound — the full-orbit lex-min element has
+// no smaller image under any group element, so every orbit keeps at
+// least one member.
+//
+//cyclecover:noalloc
+func (s *exactState) isOrbitRep(ds *depthScratch, c candidate) bool {
+	verts := ds.verts[c.off : c.off+c.k]
+	for mi := 0; mi < s.nstab; mi++ {
+		m := s.stab[mi]
+		ds.sym = ds.sym[:0]
+		for _, x := range verts {
+			ds.sym = append(ds.sym, s.sigma(m, x))
+		}
+		ring.SortByRingOrder(ds.sym)
+		if lexLess(ds.sym, verts) {
+			return false
+		}
+	}
+	return true
 }
 
 // interior appends the vertices strictly inside the clockwise arc a→b to
@@ -690,6 +1037,19 @@ func (s *exactState) apply(depth int, c candidate) {
 		if s.diam[idx] {
 			s.uncoveredDiams--
 		}
+		// ⌈d/2⌉ shrinks exactly when d leaves an odd value.
+		a, b := idx/s.n, idx%s.n
+		if s.uncDeg[a]&1 == 1 {
+			s.sumCeilHalf--
+		}
+		s.uncDeg[a]--
+		if s.uncDeg[b]&1 == 1 {
+			s.sumCeilHalf--
+		}
+		s.uncDeg[b]--
+		if s.memoOn { // beyond MaxKeyPairs the rank overflows the key words
+			s.key.Flip(int(s.rankOf[idx]))
+		}
 	}
 }
 
@@ -704,6 +1064,19 @@ func (s *exactState) undo(depth int) {
 		s.remainingDist += int(s.dist[idx])
 		if s.diam[idx] {
 			s.uncoveredDiams++
+		}
+		// ⌈d/2⌉ grows exactly when d enters an odd value.
+		a, b := idx/s.n, idx%s.n
+		s.uncDeg[a]++
+		if s.uncDeg[a]&1 == 1 {
+			s.sumCeilHalf++
+		}
+		s.uncDeg[b]++
+		if s.uncDeg[b]&1 == 1 {
+			s.sumCeilHalf++
+		}
+		if s.memoOn {
+			s.key.Flip(int(s.rankOf[idx]))
 		}
 	}
 	ds.newly = ds.newly[:0]

@@ -144,11 +144,15 @@ func (ClosedForm) Solve(ctx context.Context, in instance.Instance, opts Options)
 }
 
 // ExactSearch is budgeted branch-and-bound at Budget = ρ(n) with the
-// paper's cycle lengths. Applicable to the unit all-to-all demand only;
-// when it returns at all, the covering is provably optimal (no covering
-// of K_n has fewer than ρ(n) cycles). It honours Options.Bound, so in a
-// portfolio it stops expanding once a higher-priority member's result
-// can no longer be beaten.
+// paper's cycle lengths, run on the symmetry-reduced engine (orbit
+// pruning, residual transposition table, counting bounds — DESIGN.md
+// §10). Applicable to the unit all-to-all demand only; when it returns
+// at all, the covering is provably optimal (no covering of K_n has
+// fewer than ρ(n) cycles). It honours Options.Bound, so in a portfolio
+// it stops expanding once a higher-priority member's result can no
+// longer be beaten; a subtree cut by that shared bound is excluded from
+// the transposition table (memo entries must stay genuine infeasibility
+// proofs) and downgrades Complete, never the covering itself.
 type ExactSearch struct{}
 
 // Name implements Strategy.

@@ -1,0 +1,67 @@
+package graph
+
+// This file is the canonical residual-coverage key used by the exact
+// solver's transposition table (construct.ExactOptions / DESIGN.md §10).
+// A residual demand over n vertices is a subset of the PairCount(n)
+// vertex pairs; packing it into a fixed array of machine words in the
+// same ascending pair-rank order the Graph multiplicity array uses makes
+// the key canonical by construction — two searches that reach the same
+// residual produce bit-identical keys regardless of the cycle order that
+// got them there — and keeps hashing, equality and per-pair updates
+// allocation-free.
+
+// MaxKeyPairs is the largest pair count a PairKey can represent:
+// PairCount(n) ≤ MaxKeyPairs, i.e. n ≤ 23. Callers with larger rings
+// must skip key-based memoization (the exact solver disables its table
+// there).
+const MaxKeyPairs = keyWords * 64
+
+// keyWords sizes the packed key; 4 words cover every ring the exact
+// solver can realistically search.
+const keyWords = 4
+
+// PairKey is a packed bitset over pair ranks 0..MaxKeyPairs-1 in the
+// triangular ascending order of Graph's multiplicity array. The zero
+// value is the empty set; PairKey is comparable, so it can serve
+// directly as a collision-checked hash-table key.
+type PairKey [keyWords]uint64
+
+// Flip toggles the bit for pair rank i.
+//
+//cyclecover:noalloc
+func (k *PairKey) Flip(i int) {
+	k[uint(i)>>6] ^= 1 << (uint(i) & 63)
+}
+
+// Bit reports whether pair rank i is set.
+//
+//cyclecover:noalloc
+func (k *PairKey) Bit(i int) bool {
+	return k[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Clear resets the key to the empty set.
+//
+//cyclecover:noalloc
+func (k *PairKey) Clear() {
+	for i := range k {
+		k[i] = 0
+	}
+}
+
+// Hash mixes the packed words into a 64-bit table index. The mix is a
+// fixed xor-multiply avalanche (splitmix64-style), deterministic across
+// processes: the same residual always lands on the same slot sequence.
+//
+//cyclecover:noalloc
+func (k *PairKey) Hash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range k {
+		h ^= w
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

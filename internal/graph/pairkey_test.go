@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+// TestPairKeyFlipBit exercises set/clear round trips across the whole
+// rank range, including the word boundaries.
+func TestPairKeyFlipBit(t *testing.T) {
+	var k PairKey
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 191, 192, MaxKeyPairs - 1} {
+		if k.Bit(i) {
+			t.Fatalf("bit %d set in empty key", i)
+		}
+		k.Flip(i)
+		if !k.Bit(i) {
+			t.Fatalf("bit %d not set after flip", i)
+		}
+		k.Flip(i)
+		if k.Bit(i) {
+			t.Fatalf("bit %d still set after second flip", i)
+		}
+	}
+}
+
+// TestPairKeyCanonical pins the canonicality contract the transposition
+// table relies on: the key depends only on the final pair set, not the
+// order the pairs were toggled in.
+func TestPairKeyCanonical(t *testing.T) {
+	var a, b PairKey
+	for _, i := range []int{3, 77, 130, 5, 200} {
+		a.Flip(i)
+	}
+	for _, i := range []int{200, 5, 3, 130, 77} {
+		b.Flip(i)
+	}
+	if a != b {
+		t.Fatal("same pair set, different keys")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("same key, different hashes")
+	}
+	b.Flip(77)
+	if a == b {
+		t.Fatal("different pair sets compare equal")
+	}
+}
+
+// TestPairKeyClear verifies Clear returns the key to the zero value.
+func TestPairKeyClear(t *testing.T) {
+	var k, zero PairKey
+	k.Flip(0)
+	k.Flip(MaxKeyPairs - 1)
+	k.Clear()
+	if k != zero {
+		t.Fatalf("cleared key %v is not zero", k)
+	}
+}
+
+// TestPairKeyHashSpreads is a smoke check that single-bit keys do not
+// collide: the table uses open addressing with a short probe window, so
+// trivially clustered hashes would degrade it to a linear scan.
+func TestPairKeyHashSpreads(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < MaxKeyPairs; i++ {
+		var k PairKey
+		k.Flip(i)
+		h := k.Hash()
+		if j, dup := seen[h]; dup {
+			t.Fatalf("bits %d and %d hash identically", i, j)
+		}
+		seen[h] = i
+	}
+	if len(seen) != MaxKeyPairs {
+		t.Fatalf("expected %d distinct hashes, got %d", MaxKeyPairs, len(seen))
+	}
+}
+
+// TestPairKeyCoversCompleteGraphRanks ties the key to the Graph pair-rank
+// layout: PairCount(n) ranks for the largest supported ring fit the key.
+func TestPairKeyCoversCompleteGraphRanks(t *testing.T) {
+	if PairCount(23) > MaxKeyPairs {
+		t.Fatalf("PairCount(23) = %d exceeds MaxKeyPairs = %d", PairCount(23), MaxKeyPairs)
+	}
+	if PairCount(24) <= MaxKeyPairs {
+		t.Fatalf("MaxKeyPairs documentation stale: PairCount(24) = %d fits", PairCount(24))
+	}
+}
