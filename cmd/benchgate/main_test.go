@@ -125,10 +125,11 @@ func TestCheckNodesBudget(t *testing.T) {
 	}
 }
 
-// TestGatesMatchPinnedContract guards the pinned set itself: the four
-// allocation-free hot paths plus the two node-budgeted search
-// benchmarks. Editing the set is a deliberate act that must touch this
-// test too.
+// TestGatesMatchPinnedContract guards the pinned set itself: the five
+// allocation-free hot paths (including the general-topology walk
+// verifier), the cubic scc pipeline smoke, and the two node-budgeted
+// search benchmarks. Editing the set is a deliberate act that must
+// touch this test too.
 func TestGatesMatchPinnedContract(t *testing.T) {
 	type budget struct {
 		pkg    string
@@ -137,6 +138,8 @@ func TestGatesMatchPinnedContract(t *testing.T) {
 	}
 	want := map[string]budget{
 		"BenchmarkVerifyWarm":       {pkg: "./internal/cover"},
+		"BenchmarkGeneralVerify":    {pkg: "./internal/cover"},
+		"BenchmarkSCCCoverCubic":    {pkg: "./internal/construct", allocs: -1},
 		"BenchmarkExactInnerBranch": {pkg: "./internal/construct"},
 		"BenchmarkSweepEvaluate":    {pkg: "./internal/survive"},
 		"BenchmarkDeltaRepairWarm":  {pkg: "./internal/construct"},

@@ -10,6 +10,14 @@
 //	cyclecover -n 12 -strategy exact      # force one construction strategy
 //	cyclecover -n 20 -strategy portfolio -timeout 5s
 //	cyclecover -n 11 -delta add:0:4       # incremental replan after a change
+//	cyclecover -n 10 -demand petersen     # shortest cycle cover of a snark
+//	cyclecover -n 28 -demand flower:7     # flower snark J7, provably optimal
+//
+// General-topology demands (petersen, blanusa:<1|2>, flower:<k>,
+// prism:<k>, cubic:<seed>, edges:<u-v,...>, adj:<nbrs;...>) switch the
+// objective to the shortest cycle cover of the host graph: the cover is
+// judged by total edge count against the counting lower bound, not by
+// cycle count against ρ(n).
 //
 // -strategy selects a construction path from the strategy registry
 // (closed-form, exact, repair, greedy, or portfolio to race them);
@@ -37,23 +45,27 @@ import (
 )
 
 type output struct {
-	N         int     `json:"n"`
-	Demand    string  `json:"demand"`
-	Strategy  string  `json:"strategy,omitempty"`
-	Cycles    [][]int `json:"cycles"`
-	Size      int     `json:"size"`
-	Rho       int     `json:"rho,omitempty"`
-	Optimal   bool    `json:"optimal"`
-	Triangles int     `json:"c3"`
-	Quads     int     `json:"c4"`
-	Slack     int     `json:"slack"`
-	Valid     bool    `json:"valid"`
+	N        int     `json:"n"`
+	Demand   string  `json:"demand"`
+	Strategy string  `json:"strategy,omitempty"`
+	Cycles   [][]int `json:"cycles"`
+	Size     int     `json:"size"`
+	Rho      int     `json:"rho,omitempty"`
+	// Length and SCCLowerBound report the shortest-cycle-cover objective
+	// for general-topology demands; zero for ring demands.
+	Length        int  `json:"length,omitempty"`
+	SCCLowerBound int  `json:"sccLowerBound,omitempty"`
+	Optimal       bool `json:"optimal"`
+	Triangles     int  `json:"c3"`
+	Quads         int  `json:"c4"`
+	Slack         int  `json:"slack"`
+	Valid         bool `json:"valid"`
 }
 
 func main() {
 	n := flag.Int("n", 9, "ring size (>= 3)")
 	demandSpec := flag.String("demand", "alltoall",
-		"demand: alltoall | lambda:<k> | hub:<node> | neighbors | random:<density>:<seed>")
+		"demand: alltoall | lambda:<k> | hub:<node> | neighbors | random:<density>:<seed> | petersen | blanusa:<1|2> | flower:<k> | prism:<k> | cubic:<seed> | edges:<u-v,...> | adj:<nbrs;...>")
 	strategy := flag.String("strategy", "",
 		"construction strategy: "+strings.Join(cyclecover.Strategies(), " | ")+" (default: pick by demand class)")
 	timeout := flag.Duration("timeout", 0, "construction deadline; expiry cancels the search mid-branch (0 = none)")
@@ -85,7 +97,7 @@ func main() {
 	switch {
 	case *strategy != "":
 		cv, err = cyclecover.CoverInstanceStrategy(ctx, in, *strategy)
-		if err == nil {
+		if err == nil && !in.IsGeneral() {
 			optimal = *demandSpec == "alltoall" && cv.Size() == cyclecover.Rho(*n)
 		}
 	case *demandSpec == "alltoall":
@@ -96,22 +108,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if in.IsGeneral() {
+		optimal = cv.TotalLength() == cyclecover.SCCLowerBound(in)
+	}
 	verifyErr := cyclecover.Verify(cv, in)
 
 	if *asJSON {
 		out := output{
-			N:         *n,
-			Demand:    in.Name,
-			Strategy:  *strategy,
-			Size:      cv.Size(),
-			Optimal:   optimal,
-			Triangles: cv.NumTriangles(),
-			Quads:     cv.NumQuads(),
-			Slack:     cv.DuplicateSlots(),
-			Valid:     verifyErr == nil,
+			N:        *n,
+			Demand:   in.Name,
+			Strategy: *strategy,
+			Size:     cv.Size(),
+			Optimal:  optimal,
+			Valid:    verifyErr == nil,
 		}
-		if *demandSpec == "alltoall" {
-			out.Rho = cyclecover.Rho(*n)
+		if in.IsGeneral() {
+			out.Length = cv.TotalLength()
+			out.SCCLowerBound = cyclecover.SCCLowerBound(in)
+		} else {
+			out.Triangles = cv.NumTriangles()
+			out.Quads = cv.NumQuads()
+			out.Slack = cv.DuplicateSlots()
+			if *demandSpec == "alltoall" {
+				out.Rho = cyclecover.Rho(*n)
+			}
 		}
 		for _, c := range cv.Cycles {
 			out.Cycles = append(out.Cycles, c.Vertices())
@@ -128,15 +148,27 @@ func main() {
 	if *strategy != "" {
 		fmt.Printf("strategy: %s\n", *strategy)
 	}
-	fmt.Println(cyclecover.Describe(cv))
-	if *demandSpec == "alltoall" {
-		fmt.Printf("rho(%d) = %d, optimal certified: %v\n", *n, cyclecover.Rho(*n), optimal)
+	if in.IsGeneral() {
+		fmt.Printf("shortest cycle cover: %d cycles, total length %d (lower bound %d)\n",
+			cv.Size(), cv.TotalLength(), cyclecover.SCCLowerBound(in))
+		if optimal {
+			fmt.Println("provably optimal: meets the counting lower bound")
+		}
+	} else {
+		fmt.Println(cyclecover.Describe(cv))
+		if *demandSpec == "alltoall" {
+			fmt.Printf("rho(%d) = %d, optimal certified: %v\n", *n, cyclecover.Rho(*n), optimal)
+		}
 	}
 	if verifyErr != nil {
 		fmt.Printf("VERIFY FAILED: %v\n", verifyErr)
 		os.Exit(1)
 	}
-	fmt.Println("verified: every request covered, every cycle DRC-routable")
+	if in.IsGeneral() {
+		fmt.Println("verified: every cycle a closed walk on host edges, every host edge covered")
+	} else {
+		fmt.Println("verified: every request covered, every cycle DRC-routable")
+	}
 	if !*quiet {
 		for i, c := range cv.Cycles {
 			fmt.Printf("  cycle %3d: %v\n", i, c)

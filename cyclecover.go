@@ -138,8 +138,12 @@ func RandomInstance(n int, density float64, seed int64) (Instance, error) {
 }
 
 // ParseInstance builds an instance from the compact demand spec shared by
-// the CLI tools and the cycled service: alltoall | lambda:<k> |
-// hub:<node> | neighbors | random:<density>:<seed>.
+// the CLI tools and the cycled service. Ring families: alltoall |
+// lambda:<k> | hub:<node> | neighbors | random:<density>:<seed>.
+// General-topology families (bridgeless host graphs covered under the
+// shortest-cycle-cover objective): petersen | blanusa:<1|2> |
+// flower:<k> | prism:<k> | cubic:<seed> | edges:<u-v,...> |
+// adj:<nbrs;...>.
 func ParseInstance(n int, spec string) (Instance, error) {
 	return instance.Parse(n, spec)
 }
@@ -167,11 +171,14 @@ func CoverAllToAllCtx(ctx context.Context, n int) (cv *Covering, optimal bool, e
 	return res.Covering, res.Optimal, nil
 }
 
-// CoverInstance constructs a valid DRC covering for an arbitrary instance
-// over C_n (n = instance size): the closed-form machinery for uniform
-// λK_n demands (the paper's optimal constructions for K_n, the
-// λ-composition beyond), the greedy constructor otherwise — the same
-// dispatch the cached Planner and the cycled service use.
+// CoverInstance constructs a valid covering for an arbitrary instance:
+// over C_n, the closed-form machinery for uniform λK_n demands (the
+// paper's optimal constructions for K_n, the λ-composition beyond) and
+// the greedy constructor otherwise — the same dispatch the cached
+// Planner and the cycled service use. General-topology instances
+// (petersen, blanusa:<w>, flower:<k>, prism:<k>, cubic:<seed>,
+// edges:<...>, adj:<...>) are covered by the shortest-cycle-cover
+// pipeline instead, minimising total edge count.
 func CoverInstance(in Instance) (*Covering, error) {
 	return CoverInstanceCtx(context.Background(), in)
 }
@@ -182,6 +189,13 @@ func CoverInstance(in Instance) (*Covering, error) {
 func CoverInstanceCtx(ctx context.Context, in Instance) (*Covering, error) {
 	if in.Demand == nil {
 		return nil, fmt.Errorf("cyclecover: instance %q has no demand graph (zero-value instance?)", in.Name)
+	}
+	if in.IsGeneral() {
+		out, err := construct.GeneralSCCCtx(ctx, in, construct.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return out.Covering, nil
 	}
 	n := in.N()
 	r, err := ring.New(n)
@@ -231,21 +245,48 @@ func CoverInstanceStrategy(ctx context.Context, in Instance, strategy string) (*
 	return out.Covering, nil
 }
 
-// Verify checks that cv is a valid DRC covering of the instance: every
-// cycle routable edge-disjointly, every request covered at least its
-// multiplicity. A nil covering or a zero-value instance (nil demand) is
-// reported as an error, never a panic.
+// Verify checks that cv is a valid covering of the instance. For ring
+// instances: every cycle routable edge-disjointly on C_n, every request
+// covered at least its multiplicity. For general-topology instances the
+// walk verifier runs instead: every cycle a closed walk along host
+// edges, every host edge covered. A nil covering or a zero-value
+// instance (nil demand) is reported as an error, never a panic.
 func Verify(cv *Covering, in Instance) error {
+	if in.IsGeneral() {
+		return cover.VerifyGeneral(cv, in.Host)
+	}
 	return cover.Verify(cv, in.Demand)
 }
 
 // VerifyOptimalAllToAll additionally checks |cv| = ρ(n).
 func VerifyOptimalAllToAll(cv *Covering) error { return cover.VerifyOptimal(cv) }
 
+// SCCLowerBound returns the provable shortest-cycle-cover lower bound
+// max(m, Σ_v ⌈deg(v)/2⌉) for a general-topology instance's host graph,
+// and 0 for ring instances (whose objective is the cycle count, bounded
+// by Rho).
+func SCCLowerBound(in Instance) int {
+	if !in.IsGeneral() {
+		return 0
+	}
+	return cover.SCCLowerBound(in.Host)
+}
+
+// SnarkSCCUpperBound returns the literature upper bound 4/3·m + c on the
+// shortest cycle cover of a snark with m edges (Brinkmann, Goedgebeur,
+// Hägglund, Markström: every snark on ≤ 36 vertices is covered within
+// 4/3·m + 1, with the Petersen graph the unique one needing the +1).
+func SnarkSCCUpperBound(m int) int { return cover.SnarkSCCUpperBound(m) }
+
 // PlanWDM builds the optical design: one subnetwork per cycle with working
 // and spare wavelengths, demand assignment, and cost accounting. Nil
-// coverings and zero-value instances are errors, not panics.
+// coverings and zero-value instances are errors, not panics. WDM
+// planning assigns wavelengths to ring links; general-topology
+// instances are rejected.
 func PlanWDM(cv *Covering, in Instance) (*Network, error) {
+	if in.IsGeneral() {
+		return nil, fmt.Errorf("cyclecover: WDM planning applies to ring instances only, %q is general-topology", in.Name)
+	}
 	return wdm.Plan(cv, in.Demand)
 }
 

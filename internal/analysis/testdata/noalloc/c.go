@@ -1,0 +1,45 @@
+package fixture
+
+// The shapes the general-topology walk verifier leans on: the pooled
+// verifier's warm path must scan the host's dense pair array with an
+// open-coded triangular loop (no findings), because handing a captured
+// closure to an iterator method escapes the receiver and allocates.
+
+type pairGrid struct {
+	n    int
+	mult []int32
+	cov  []int32
+}
+
+func (g *pairGrid) at(u, v int) int32 { return g.mult[u*g.n+v] }
+
+// coverageScan is the admissible form: plain nested loops, index
+// arithmetic, early return on the first uncovered edge. No findings.
+//
+//cyclecover:noalloc
+func (g *pairGrid) coverageScan() bool {
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.at(u, v) > 0 && g.cov[u*g.n+v] == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coverageClosure is the rejected form: the callback captures the grid,
+// so building it allocates on every warm call.
+//
+//cyclecover:noalloc
+func (g *pairGrid) coverageClosure(forEach func(func(u, v int) bool)) bool {
+	ok := true
+	forEach(func(u, v int) bool { // want "closure captures"
+		if g.at(u, v) > 0 && g.cov[u*g.n+v] == 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -52,6 +52,12 @@ func (p *Plans) ResolveDelta(parentSig string, d instance.Delta) (DeltaPlan, err
 	if parent.Demand == nil {
 		return DeltaPlan{}, fmt.Errorf("%w: plan %q carries no demand provenance", ErrUnknownParent, parentSig)
 	}
+	if isGeneralSignature(parentSig) {
+		// A general-topology parent's host graph is not part of the demand
+		// provenance; applying an edge delta to the demand alone would
+		// silently rebuild the child as a ring instance and lose the host.
+		return DeltaPlan{}, fmt.Errorf("%w: parent %q is a general-topology plan; delta replanning applies to ring instances only", ErrBadDelta, parentSig)
+	}
 	childDemand, err := d.Apply(parent.Demand)
 	if err != nil {
 		return DeltaPlan{}, fmt.Errorf("%w: %v", ErrBadDelta, err)
@@ -69,6 +75,17 @@ func (p *Plans) ResolveDelta(parentSig string, d instance.Delta) (DeltaPlan, err
 		ChildSig:  Signature(child, opts),
 		Opts:      opts,
 	}, nil
+}
+
+// isGeneralSignature reports whether a canonical signature was produced
+// by the general-topology branch of Signature (a `t=h…` host component).
+func isGeneralSignature(sig string) bool {
+	for _, seg := range strings.Split(sig, ";") {
+		if strings.HasPrefix(seg, "t=h") {
+			return true
+		}
+	}
+	return false
 }
 
 // optionsFromSignature recovers the Options encoded in a canonical

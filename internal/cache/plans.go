@@ -152,6 +152,11 @@ func (p *Plans) NetworkCtx(ctx context.Context, in instance.Instance, opts Optio
 	if in.Demand == nil {
 		return nil, false, fmt.Errorf("cache: instance %q has no demand graph (zero-value instance?)", in.Name)
 	}
+	if in.IsGeneral() {
+		// WDM planning assigns wavelengths to ring links; a general host
+		// has no ring routing to assign over.
+		return nil, false, fmt.Errorf("cache: WDM planning applies to ring instances only, %q is general-topology", in.Name)
+	}
 	sig := Signature(in, opts)
 	v, hit, err := p.networks.DoCtx(ctx, sig, func(cctx context.Context) (any, error) {
 		res, _, err := p.CoverCtx(cctx, in, opts)
@@ -172,6 +177,9 @@ func (p *Plans) NetworkCtx(ctx context.Context, in instance.Instance, opts Optio
 // opts.Strategy selects the construction path through the strategy
 // registry; empty runs the fixed auto pipeline.
 func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverResult, error) {
+	if in.IsGeneral() {
+		return buildGeneralCover(ctx, in, opts)
+	}
 	n := in.N()
 	r, err := ring.New(n)
 	if err != nil {
@@ -217,4 +225,30 @@ func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverR
 	}
 	res.Demand = in.Demand
 	return res, nil
+}
+
+// buildGeneralCover is buildCover for general-topology instances: the
+// scc pipeline (or a named strategy) constructs, the general verifier
+// gates admission edge-by-edge against the host. Redundancy elimination
+// is a ring-tally optimiser and does not apply — a general cover's
+// slack is already minimised by the scc objective itself.
+func buildGeneralCover(ctx context.Context, in instance.Instance, opts Options) (CoverResult, error) {
+	var out construct.Outcome
+	var err error
+	if opts.Strategy != "" {
+		st, ok := construct.LookupStrategy(opts.Strategy)
+		if !ok {
+			return CoverResult{}, fmt.Errorf("cache: unknown strategy %q (have %v)", opts.Strategy, construct.Strategies())
+		}
+		out, err = st.Solve(ctx, in, construct.Options{})
+	} else {
+		out, err = construct.GeneralSCCCtx(ctx, in, construct.Options{})
+	}
+	if err != nil {
+		return CoverResult{}, err
+	}
+	if err := cover.VerifyGeneral(out.Covering, in.Host); err != nil {
+		return CoverResult{}, fmt.Errorf("cache: refusing to cache unverified cover: %w", err)
+	}
+	return CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal, Demand: in.Demand}, nil
 }

@@ -43,7 +43,17 @@ type Options struct {
 // demand multigraph share a signature regardless of how they were built
 // or named: recognised classes (λK_n, including K_n as λ=1) get a compact
 // readable form, everything else a content hash of the edge multiset.
+//
+// General-topology instances get a distinct `t=` component hashing the
+// host graph. Without it, a general instance whose host happens to be
+// K_n would collapse onto the ring all-to-all signature (UniformLambda
+// recognises the host-aliased demand) and the cache would serve a ring
+// covering for a host-cover request — a latent complete-graph assumption
+// this component closes.
 func Signature(in instance.Instance, opts Options) string {
+	if in.IsGeneral() {
+		return withOptions(fmt.Sprintf("n=%d;t=h%016x", in.N(), demandHash(in.Host)), opts)
+	}
 	if lam, ok := construct.UniformLambda(in.Demand); ok {
 		return SignatureLambda(in.N(), lam, opts)
 	}

@@ -37,10 +37,12 @@ type Options struct {
 	// Parallelism is passed to exact-backed strategies (0 = GOMAXPROCS,
 	// 1 = serial).
 	Parallelism int
-	// Bound, when non-nil, carries the best covering size achieved by
-	// competing strategies that outrank this one; a solver may use it to
-	// prune work that can no longer produce a strictly smaller covering.
-	// Set by Portfolio; zero-value calls run unpruned.
+	// Bound, when non-nil, carries the best covering cost achieved by
+	// competing strategies that outrank this one — cycle count for ring
+	// instances, total cover length for general-topology ones (see
+	// CoverCost); a solver may use it to prune work that can no longer
+	// produce a strictly cheaper covering. Set by Portfolio; zero-value
+	// calls run unpruned.
 	Bound *atomic.Int64
 }
 
@@ -68,9 +70,11 @@ type Strategy interface {
 // Registry returns the concrete strategies in priority order. The order
 // is part of the contract: the Portfolio breaks cost ties toward the
 // lowest index, which keeps its output pinned to the fixed pipeline
-// (closed forms preferred, greedy the universal fallback).
+// (closed forms preferred, greedy the universal fallback). The ring
+// members refuse general-topology instances and the scc members refuse
+// ring instances, so exactly one sub-family competes per instance.
 func Registry() []Strategy {
-	return []Strategy{ClosedForm{}, ExactSearch{}, Repair{}, GreedySweep{}}
+	return []Strategy{ClosedForm{}, ExactSearch{}, Repair{}, GreedySweep{}, SCCExact{}, SCCKCycle{}, SCCGreedy{}}
 }
 
 // Strategies lists the selectable strategy names: the registry in
@@ -126,6 +130,12 @@ func (ClosedForm) Name() string { return "closed-form" }
 
 // Solve implements Strategy.
 func (ClosedForm) Solve(ctx context.Context, in instance.Instance, opts Options) (Outcome, error) {
+	if in.IsGeneral() {
+		// A general host whose graph happens to be K_n must not fall into
+		// the ring machinery: the objective and the feasibility model both
+		// differ (cover the host's edges, not route demand on a ring).
+		return Outcome{}, fmt.Errorf("%w: closed-form addresses ring instances, %q is general-topology", ErrNotApplicable, in.Name)
+	}
 	lam, ok := UniformLambda(in.Demand)
 	if !ok {
 		return Outcome{}, fmt.Errorf("%w: closed-form needs a uniform λK_n demand, got %q", ErrNotApplicable, in.Name)
@@ -160,6 +170,9 @@ func (ExactSearch) Name() string { return "exact" }
 
 // Solve implements Strategy.
 func (ExactSearch) Solve(ctx context.Context, in instance.Instance, opts Options) (Outcome, error) {
+	if in.IsGeneral() {
+		return Outcome{}, fmt.Errorf("%w: exact search addresses ring instances, %q is general-topology", ErrNotApplicable, in.Name)
+	}
 	lam, ok := UniformLambda(in.Demand)
 	if !ok || lam != 1 {
 		return Outcome{}, fmt.Errorf("%w: exact search needs the unit all-to-all demand, got %q", ErrNotApplicable, in.Name)
@@ -202,6 +215,9 @@ func (Repair) Name() string { return "repair" }
 
 // Solve implements Strategy.
 func (Repair) Solve(ctx context.Context, in instance.Instance, opts Options) (Outcome, error) {
+	if in.IsGeneral() {
+		return Outcome{}, fmt.Errorf("%w: repair search addresses ring instances, %q is general-topology", ErrNotApplicable, in.Name)
+	}
 	lam, ok := UniformLambda(in.Demand)
 	if !ok || lam != 1 {
 		return Outcome{}, fmt.Errorf("%w: repair search needs the unit all-to-all demand, got %q", ErrNotApplicable, in.Name)
@@ -230,6 +246,9 @@ func (GreedySweep) Name() string { return "greedy" }
 
 // Solve implements Strategy.
 func (GreedySweep) Solve(ctx context.Context, in instance.Instance, opts Options) (Outcome, error) {
+	if in.IsGeneral() {
+		return Outcome{}, fmt.Errorf("%w: ring greedy addresses ring instances, %q is general-topology (scc-greedy is its counterpart)", ErrNotApplicable, in.Name)
+	}
 	n := in.N()
 	r, err := ring.New(n)
 	if err != nil {
@@ -321,7 +340,7 @@ func (p *Portfolio) Solve(ctx context.Context, in instance.Instance, opts Option
 				results[i] = slot{err: err}
 				return
 			}
-			size := out.Covering.Size()
+			size := CoverCost(in, out.Covering)
 			results[i] = slot{out: out, size: size}
 			for j := i + 1; j < k; j++ {
 				casMin(&bounds[j], int64(size))

@@ -143,7 +143,7 @@ func TestPortfolioDeterministic(t *testing.T) {
 // TestStrategyRegistry pins the registry names and order — both are API
 // (the portfolio tie-break depends on the order).
 func TestStrategyRegistry(t *testing.T) {
-	want := []string{"closed-form", "exact", "repair", "greedy", "portfolio"}
+	want := []string{"closed-form", "exact", "repair", "greedy", "scc-exact", "scc-kcycle", "scc-greedy", "portfolio"}
 	got := Strategies()
 	if len(got) != len(want) {
 		t.Fatalf("Strategies() = %v, want %v", got, want)

@@ -16,10 +16,16 @@ import (
 	"github.com/cyclecover/cyclecover/internal/graph"
 )
 
-// Instance is a named demand set over n vertices.
+// Instance is a named demand set over n vertices. Ring instances carry
+// only Demand, interpreted as logical requests routed on the physical
+// ring. General-topology instances (see general.go) additionally carry
+// Host, an arbitrary bridgeless graph; there Demand aliases Host —
+// every host edge must be covered by a cycle of the host — and the
+// objective is the total cover length rather than the cycle count.
 type Instance struct {
 	Name   string
 	Demand *graph.Graph
+	Host   *graph.Graph
 }
 
 // N returns the number of vertices. A zero-value Instance (e.g. what
@@ -108,7 +114,15 @@ const MaxParseLambda = 1 << 20
 //	hub:<node>               all nodes to one hub in [0, n)
 //	neighbors                ring-adjacent pairs only
 //	random:<density>:<seed>  reproducible random symmetric demand
+//
+// plus the general-topology families documented on ParseGeneral
+// (petersen, blanusa:<1|2>, flower:<k>, prism:<k>, cubic:<seed>,
+// edges:<list>, adj:<rows>), which return instances covered against
+// their own host graph instead of routed on the ring.
 func Parse(n int, spec string) (Instance, error) {
+	if in, ok, err := ParseGeneral(n, spec); ok {
+		return in, err
+	}
 	switch {
 	case spec == "alltoall":
 		return AllToAll(n), nil
@@ -143,7 +157,7 @@ func Parse(n int, spec string) (Instance, error) {
 		}
 		return RandomSymmetric(n, d, s)
 	default:
-		return Instance{}, fmt.Errorf("unknown demand %q: want alltoall, lambda:<k>, hub:<node>, neighbors, or random:<density>:<seed>", spec)
+		return Instance{}, fmt.Errorf("unknown demand %q: want alltoall, lambda:<k>, hub:<node>, neighbors, or random:<density>:<seed> — or a general-topology family (petersen, blanusa:<1|2>, flower:<k>, prism:<k>, cubic:<seed>, edges:<u-v,...>, adj:<nbrs;...>)", spec)
 	}
 }
 

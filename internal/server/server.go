@@ -70,8 +70,13 @@ func checkDemandSize(in instance.Instance) error {
 // isAllToAll reports whether the demand is K_n with multiplicity one —
 // the class ρ(n) speaks about. Keyed on the demand itself, not on the
 // spec string, so demand=lambda:1 and demand=alltoall answer alike (they
-// share a cache entry too).
+// share a cache entry too). A general-topology instance whose host
+// happens to be complete is NOT all-to-all: its objective is
+// shortest cycle cover, and ρ(n) says nothing about it.
 func isAllToAll(in instance.Instance) bool {
+	if in.IsGeneral() {
+		return false
+	}
 	n := in.N()
 	pairs := n * (n - 1) / 2
 	return in.Demand.DistinctEdges() == pairs && in.Demand.M() == pairs
@@ -221,14 +226,20 @@ type planResponse struct {
 	Strategy    string  `json:"strategy,omitempty"` // non-default only
 	Size        int     `json:"size"`
 	Rho         int     `json:"rho,omitempty"` // all-to-all demands only
-	Optimal     bool    `json:"optimal"`
-	Method      string  `json:"method"`
-	Cycles      [][]int `json:"cycles"`
-	Wavelengths int     `json:"wavelengths"`
-	ADMs        int     `json:"adms"`
-	MaxTransit  int     `json:"maxTransit"`
-	Cost        float64 `json:"cost"`
-	CacheHit    bool    `json:"cacheHit"`
+	// Length and SCCLowerBound report the shortest-cycle-cover objective
+	// for general-topology instances: total edge count of the cover and
+	// the provable lower bound max(m, Σ_v ⌈deg(v)/2⌉). Zero for ring
+	// instances, whose objective is the cycle count (Size).
+	Length        int     `json:"length,omitempty"`
+	SCCLowerBound int     `json:"sccLowerBound,omitempty"`
+	Optimal       bool    `json:"optimal"`
+	Method        string  `json:"method"`
+	Cycles        [][]int `json:"cycles"`
+	Wavelengths   int     `json:"wavelengths"`
+	ADMs          int     `json:"adms"`
+	MaxTransit    int     `json:"maxTransit"`
+	Cost          float64 `json:"cost"`
+	CacheHit      bool    `json:"cacheHit"`
 }
 
 // planned bundles what one pool job computes.
@@ -287,6 +298,11 @@ func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (pla
 		if err != nil {
 			return nil, err
 		}
+		if in.IsGeneral() {
+			// No WDM layer over a general host: the plan is the cover
+			// itself, judged by the shortest-cycle-cover objective.
+			return planned{res: res, hit: coverHit}, nil
+		}
 		nw, netHit, err := s.plans.NetworkCtx(jctx, in, opts)
 		if err != nil {
 			return nil, err
@@ -308,20 +324,25 @@ func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (pla
 	pl := v.(planned)
 
 	resp := planResponse{
-		Signature:   sig,
-		N:           n,
-		Demand:      in.Name,
-		Strategy:    strategy,
-		Size:        pl.res.Covering.Size(),
-		Optimal:     pl.res.Optimal,
-		Method:      string(pl.res.Method),
-		Wavelengths: pl.nw.wavelengths,
-		ADMs:        pl.nw.adms,
-		MaxTransit:  pl.nw.maxTransit,
-		Cost:        pl.nw.cost,
-		CacheHit:    pl.hit,
+		Signature: sig,
+		N:         n,
+		Demand:    in.Name,
+		Strategy:  strategy,
+		Size:      pl.res.Covering.Size(),
+		Optimal:   pl.res.Optimal,
+		Method:    string(pl.res.Method),
+		CacheHit:  pl.hit,
 	}
-	if isAllToAll(in) {
+	if pl.nw != nil {
+		resp.Wavelengths = pl.nw.wavelengths
+		resp.ADMs = pl.nw.adms
+		resp.MaxTransit = pl.nw.maxTransit
+		resp.Cost = pl.nw.cost
+	}
+	if in.IsGeneral() {
+		resp.Length = pl.res.Covering.TotalLength()
+		resp.SCCLowerBound = cover.SCCLowerBound(in.Host)
+	} else if isAllToAll(in) {
 		resp.Rho = cover.Rho(n)
 	}
 	for _, c := range pl.res.Covering.Cycles {
@@ -511,12 +532,17 @@ type verifyRequest struct {
 
 // verifyResponse reports the verdict. Invalid coverings answer 422 with
 // Valid=false and the verifier's reason; malformed requests answer 400.
+// For general-topology demands, Length and SCCLowerBound report the
+// shortest-cycle-cover objective and Optimal means the cover meets the
+// provable lower bound.
 type verifyResponse struct {
-	Valid   bool   `json:"valid"`
-	Size    int    `json:"size"`
-	Rho     int    `json:"rho,omitempty"`
-	Optimal bool   `json:"optimal"`
-	Error   string `json:"error,omitempty"`
+	Valid         bool   `json:"valid"`
+	Size          int    `json:"size"`
+	Rho           int    `json:"rho,omitempty"`
+	Length        int    `json:"length,omitempty"`
+	SCCLowerBound int    `json:"sccLowerBound,omitempty"`
+	Optimal       bool   `json:"optimal"`
+	Error         string `json:"error,omitempty"`
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -574,6 +600,28 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	sig := fmt.Sprintf("verify:%x", sha256.Sum256(body))
 	v, err := s.pool.Submit(r.Context(), sig, func(context.Context) (any, error) {
 		resp := verifyResponse{Size: len(req.Cycles)}
+		if in.IsGeneral() {
+			// General-topology verification: cycles are explicit closed
+			// walks over host edges (order matters), not ring vertex sets.
+			cv := cover.NewGeneralCovering(req.N)
+			for _, verts := range req.Cycles {
+				c, err := cover.WalkCycle(verts)
+				if err != nil {
+					resp.Error = err.Error()
+					return resp, nil
+				}
+				cv.Cycles = append(cv.Cycles, c)
+			}
+			resp.SCCLowerBound = cover.SCCLowerBound(in.Host)
+			if err := cover.VerifyGeneral(cv, in.Host); err != nil {
+				resp.Error = err.Error()
+				return resp, nil
+			}
+			resp.Valid = true
+			resp.Length = cv.TotalLength()
+			resp.Optimal = resp.Length == resp.SCCLowerBound
+			return resp, nil
+		}
 		if isAllToAll(in) {
 			resp.Rho = cover.Rho(req.N)
 		}

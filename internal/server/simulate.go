@@ -160,6 +160,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if in.IsGeneral() {
+		// Failure simulation drills the WDM layer; a general host has no
+		// ring links or wavelengths to fail.
+		writeError(w, http.StatusBadRequest,
+			"simulation requires a ring instance: %q is general-topology", in.Name)
+		return
+	}
 	if err := checkDemandSize(in); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
