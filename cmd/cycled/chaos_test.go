@@ -1,0 +1,122 @@
+//go:build faultinject
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cyclecover/cyclecover/internal/faultinject"
+	"github.com/cyclecover/cyclecover/internal/server"
+)
+
+// TestChaosGracefulShutdownWithInjectedLatency: SIGTERM (context
+// cancellation) arriving while a fault-slowed job is in flight must
+// drain cleanly — the slow request completes, the snapshot is written
+// atomically, and the daemon exits nil without deadlocking.
+func TestChaosGracefulShutdownWithInjectedLatency(t *testing.T) {
+	if err := faultinject.Configure("pool.dispatch=delay(300ms)", 5); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+
+	snap := filepath.Join(t.TempDir(), "plans.snap")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", "", server.Config{CacheSize: 16, Workers: 1, Queue: 4},
+			snap, 10*time.Second, io.Discard, func(addr, _ string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	// Kick off the slow request, then deliver the shutdown while its
+	// injected dispatch delay is still running.
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/plan?n=9")
+		if err != nil {
+			reqDone <- 0
+			return
+		}
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // inside the 300ms injected delay
+	cancel()
+
+	if code := <-reqDone; code != http.StatusOK {
+		t.Fatalf("in-flight request during shutdown = %d, want 200 (drained, not dropped)", code)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon deadlocked during drain")
+	}
+	if got := faultinject.Fired(faultinject.SitePoolDispatch); got == 0 {
+		t.Fatal("the dispatch delay failpoint never fired")
+	}
+
+	// The snapshot written on the way out is complete and loadable: a
+	// fresh daemon warms the covering from it (the WDM network is
+	// derived, not snapshotted, so warmth shows in the load log and a
+	// valid plan — not in X-Cache).
+	faultinject.Reset()
+	var logs bytes.Buffer
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- run(ctx2, "127.0.0.1:0", "", server.Config{CacheSize: 16, Workers: 1, Queue: 4},
+			snap, 5*time.Second, &logs, func(addr, _ string) { ready2 <- addr })
+	}()
+	select {
+	case addr = <-ready2:
+	case err := <-done2:
+		t.Fatalf("second daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/plan?n=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan struct {
+		Size    int  `json:"size"`
+		Optimal bool `json:"optimal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if plan.Size == 0 || !plan.Optimal {
+		t.Fatalf("warmed daemon served a bogus plan: %+v", plan)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("second shutdown returned %v", err)
+	}
+	if !strings.Contains(logs.String(), "warmed 1 plans") {
+		t.Fatalf("second daemon did not warm from the shutdown snapshot; logs:\n%s", logs.String())
+	}
+}

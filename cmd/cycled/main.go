@@ -13,7 +13,10 @@
 //	                                  critical links; k ≥ 3 sampled by
 //	                                  &sample= and &seed=
 //	POST /verify                      verify a covering against a demand
-//	GET  /healthz                     liveness + cache/pool counters
+//	GET  /livez                       liveness (aliased by /healthz) +
+//	                                  cache/pool counters
+//	GET  /readyz                      readiness: 503 while starting up or
+//	                                  draining for shutdown
 //	GET  /metrics                     Prometheus text exposition
 //
 // Usage:
@@ -23,6 +26,20 @@
 //	cycled -plan-timeout 2s       # bound each plan request; expiry → 504
 //	cycled -snapshot plans.snap   # warm the cache at boot, persist on exit
 //	cycled -pprof 127.0.0.1:6060  # profiling endpoints on a second listener
+//	cycled -max-inflight 64 -max-queue 128   # admission control: shed → 429
+//	cycled -plan-timeout 2s -degrade         # demote to anytime under pressure
+//
+// With -max-inflight and/or -max-queue set, the work endpoints shed
+// excess load with a structured 429 and a Retry-After hint derived from
+// the observed job-latency EWMA, instead of queueing without bound. With
+// -degrade set (meaningful together with -plan-timeout), a request whose
+// remaining deadline budget is smaller than the measured full-pipeline
+// cost is planned by the anytime portfolio instead — verified, marked
+// degraded:true, cached under a separate signature dimension — and when
+// even that cannot fit, a verified stale cache hit is served with
+// X-Degraded: stale. The -fault/-fault-seed flags arm the deterministic
+// failpoints of internal/faultinject and exist only in builds made with
+// -tags faultinject; production binaries refuse a non-empty -fault.
 //
 // With -pprof set, the daemon exposes the net/http/pprof endpoints
 // (/debug/pprof/...) on a second, dedicated listener so live planning
@@ -65,6 +82,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/cyclecover/cyclecover/internal/faultinject"
 	"github.com/cyclecover/cyclecover/internal/server"
 )
 
@@ -77,12 +95,35 @@ func main() {
 	planTimeout := flag.Duration("plan-timeout", 0, "per-request plan deadline; expiry answers 504 and cancels the search (0 = none)")
 	snapshot := flag.String("snapshot", "", "cache snapshot file: warm at boot, persist atomically on shutdown (empty = disabled)")
 	pprofAddr := flag.String("pprof", "", "loopback address for net/http/pprof profiling endpoints (empty = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "per-endpoint in-flight admission cap; past it requests shed with 429 (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "shed new work when the pool queue is this deep (0 = unlimited)")
+	degrade := flag.Bool("degrade", false, "deadline-aware degradation: demote to the anytime portfolio when the measured full-pipeline cost exceeds the remaining budget")
+	fault := flag.String("fault", "", "failpoint spec site=verb[(arg)][@prob][#limit];... (requires a -tags faultinject build)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed keying the deterministic failpoint schedule")
 	flag.Parse()
+
+	if *fault != "" {
+		if err := faultinject.Configure(*fault, *faultSeed); err != nil {
+			// On a production (compiled-out) build Configure always errors;
+			// refusing to start beats silently ignoring a chaos spec.
+			fmt.Fprintln(os.Stderr, "cycled: -fault:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cycled: failpoints armed: %s (seed %d)\n", *fault, *faultSeed)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := server.Config{CacheSize: *cacheSize, Workers: *workers, Queue: *queue, PlanTimeout: *planTimeout}
+	cfg := server.Config{
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+		Queue:       *queue,
+		PlanTimeout: *planTimeout,
+		MaxInflight: *maxInflight,
+		MaxQueue:    *maxQueue,
+		Degrade:     *degrade,
+	}
 	if err := run(ctx, *addr, *pprofAddr, cfg, *snapshot, *drain, os.Stderr, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "cycled:", err)
 		os.Exit(1)
@@ -97,6 +138,10 @@ func main() {
 // snapshot cannot poison startup — and persists it after the drain.
 func run(ctx context.Context, addr, pprofAddr string, cfg server.Config, snapshot string, drain time.Duration, logw io.Writer, onReady func(addr, pprofAddr string)) error {
 	srv := server.New(cfg)
+	// Not ready until startup work is done: /readyz answers 503 while the
+	// snapshot warms, so a load balancer never routes traffic at a cache
+	// that is mid-warm.
+	srv.SetReady(false)
 	if snapshot != "" {
 		if loaded, skipped, err := srv.Plans().LoadSnapshotFile(snapshot); err != nil {
 			fmt.Fprintf(logw, "cycled: skipping snapshot %s: %v\n", snapshot, err)
@@ -134,6 +179,7 @@ func run(ctx context.Context, addr, pprofAddr string, cfg server.Config, snapsho
 	}
 	fmt.Fprintf(logw, "cycled: listening on %s (workers=%d cache=%d queue=%d plan-timeout=%s)\n",
 		ln.Addr(), cfg.Workers, cfg.CacheSize, cfg.Queue, cfg.PlanTimeout)
+	srv.SetReady(true)
 	if onReady != nil {
 		onReady(ln.Addr().String(), boundPprof)
 	}
@@ -146,8 +192,11 @@ func run(ctx context.Context, addr, pprofAddr string, cfg server.Config, snapsho
 	}
 
 	// Drain in-flight requests before stopping the pool, so no handler is
-	// left waiting on a worker that will never run.
+	// left waiting on a worker that will never run. StartDrain first:
+	// /readyz flips to 503 so load balancers route away while the drain
+	// completes the requests already here.
 	fmt.Fprintln(logw, "cycled: shutting down")
+	srv.StartDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	shutErr := hs.Shutdown(shutCtx)

@@ -1,6 +1,6 @@
 // Command cyclelint is the repository's static-analysis multichecker:
 // it loads the module from source (stdlib-only, no module proxy
-// needed) and runs the five cyclecover analyzers over every package,
+// needed) and runs the six cyclecover analyzers over every package,
 // enforcing at compile time the invariants the test suite pins at
 // runtime:
 //
@@ -9,6 +9,7 @@
 //	noalloc        allocation-free //cyclecover:noalloc hot paths
 //	ctxdiscipline  context threading and Ctx-variant coverage
 //	docs           package + public-API documentation contract
+//	faultpoint     justified //cyclecover:faultpoint on chaos hooks
 //
 // Usage:
 //

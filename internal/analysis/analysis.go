@@ -6,17 +6,18 @@
 //
 // The real x/tools module is the natural host for these checkers, but
 // this repository builds in hermetic environments with no module proxy,
-// so the framework is vendored down to the ~300 lines the five cyclelint
+// so the framework is vendored down to the ~300 lines the cyclelint
 // analyzers actually need. The API mirrors x/tools closely enough that
 // porting the analyzers onto the real multichecker is a mechanical
 // search-and-replace once the dependency is allowed.
 //
-// The five analyzers (see Analyzers) enforce the invariants the paper
+// The six analyzers (see Analyzers) enforce the invariants the paper
 // reproduction's tests only pin at runtime: deterministic iteration
 // (detiter), seed-derived randomness (rngdiscipline), allocation-free
 // annotated hot paths (noalloc), context propagation (ctxdiscipline),
-// and the documentation contract (docs). DESIGN.md §9 documents the
-// contract and the //cyclecover:* annotation grammar.
+// the documentation contract (docs), and justified fault-injection
+// sites (faultpoint). DESIGN.md §9 documents the contract and the
+// //cyclecover:* annotation grammar.
 package analysis
 
 import (
@@ -146,5 +147,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // Analyzers returns the full cyclelint suite in its canonical order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetIter, RNGDiscipline, NoAlloc, CtxDiscipline, Docs}
+	return []*Analyzer{DetIter, RNGDiscipline, NoAlloc, CtxDiscipline, Docs, Faultpoint}
 }

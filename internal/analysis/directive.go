@@ -39,6 +39,11 @@ var knownVerbs = map[string]bool{
 	"ctxfree": true, // ctxdiscipline: sanctioned ctx-less exported wrapper
 	"nodoc":   true, // docs: sanctioned undocumented identifier/package
 	"noalloc": true, // noalloc: opt-in marking a function's warm path
+
+	// faultpoint is inverted relative to the opt-outs above: it is the
+	// *required* annotation on fault-injection call sites, and its absence
+	// (not its presence) is the finding.
+	"faultpoint": true, // faultpoint: documents a faultinject.Inject chaos hook
 }
 
 // parseDirectives extracts every //cyclecover: comment from a file.

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Faultpoint requires every fault-injection call site to justify its
+// existence: a call to faultinject.Inject compiles to a no-op in
+// production builds, but each site is still a place where the chaos
+// suite may throw errors, latency, or panics into the pipeline, and an
+// unexplained one is impossible to review. The annotation
+//
+//	//cyclecover:faultpoint <reason>
+//
+// on the call's line (or the line above) must say what failure mode the
+// site models and which chaos test exercises it. Harness management —
+// Configure, Reset, Fired — is not an injection site and is never
+// flagged.
+var Faultpoint = &Analyzer{
+	Name: "faultpoint",
+	Doc: "requires //cyclecover:faultpoint <reason> on every faultinject.Inject call site " +
+		"so each chaos hook documents the failure mode it models",
+	Run: runFaultpoint,
+}
+
+func runFaultpoint(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "faultinject" && !strings.HasSuffix(path, "/faultinject") {
+				return true
+			}
+			if sel.Sel.Name != "Inject" {
+				return true
+			}
+			if !pass.Exempt(call.Pos(), "faultpoint") {
+				pass.Reportf(call.Pos(), "faultinject.Inject call site must carry //cyclecover:faultpoint <reason> naming the failure mode it models")
+			}
+			return true
+		})
+	}
+}

@@ -31,6 +31,13 @@ func TestCtxDisciplineFixture(t *testing.T) {
 	atest.Run(t, analysis.CtxDiscipline, "testdata/ctx", false)
 }
 
+// TestFaultpointFixture checks that unannotated faultinject.Inject
+// sites are findings, annotated and same-line-annotated sites are not,
+// and harness-management calls (Fired, Reset) never are.
+func TestFaultpointFixture(t *testing.T) {
+	atest.Run(t, analysis.Faultpoint, "testdata/faultpoint", false)
+}
+
 // TestDocsFixtures checks the package-doc rule, its nodoc opt-out, and
 // the module-root exported-identifier rule.
 func TestDocsFixtures(t *testing.T) {

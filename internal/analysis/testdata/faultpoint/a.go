@@ -1,0 +1,47 @@
+// Package fixture exercises the faultpoint analyzer: every
+// faultinject.Inject call site must carry a justified
+// //cyclecover:faultpoint annotation; harness-management calls and
+// same-named functions from unrelated packages are not flagged.
+package fixture
+
+import (
+	"fixture/faultpoint/faultinject"
+)
+
+// Flagged: an injection site with no annotation explains nothing.
+func bare() error {
+	return faultinject.Inject("pool.dispatch") // want "faultinject.Inject call site must carry"
+}
+
+// Not flagged: the line-above annotation names the modeled failure.
+func annotatedAbove() error {
+	//cyclecover:faultpoint models a dispatch error; exercised by the fixture
+	return faultinject.Inject("pool.dispatch")
+}
+
+// Not flagged: a same-line annotation also sanctions the site.
+func annotatedInline() error {
+	return faultinject.Inject("cache.snapshot.save") //cyclecover:faultpoint models a failed save
+}
+
+// Flagged: an annotation two lines up is out of directive range.
+func annotationTooFar() error {
+	//cyclecover:faultpoint too far away to attach
+
+	return faultinject.Inject("strategy.solve") // want "faultinject.Inject call site must carry"
+}
+
+// Not flagged: harness management is not an injection site.
+func harness() uint64 {
+	faultinject.Reset()
+	return faultinject.Fired("pool.dispatch")
+}
+
+// Inject shadows the policed name locally; a plain call to it is not a
+// selector on the faultinject package and is never flagged.
+func Inject(site string) error { return nil }
+
+// Not flagged: a same-named local function is unrelated.
+func localCall() error {
+	return Inject("pool.dispatch")
+}

@@ -1,0 +1,14 @@
+// Package faultinject is a fixture-local stub of the real
+// fault-injection package: the faultpoint analyzer matches any imported
+// package whose path ends in "faultinject", so the fixture supplies its
+// own rather than importing outside the fixture module.
+package faultinject
+
+// Inject is the injection entry point the analyzer polices.
+func Inject(site string) error { return nil }
+
+// Fired is harness management, never flagged.
+func Fired(site string) uint64 { return 0 }
+
+// Reset is harness management, never flagged.
+func Reset() {}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/instance"
 )
 
@@ -162,14 +163,16 @@ func TestDoCtxDetachRace(t *testing.T) {
 	}
 }
 
-// TestDoCtxComputePanic: a panicking computation surfaces as an error to
-// every waiter (the compute goroutine must not crash the process or
-// leave done unclosed), is not cached, and the key recovers.
+// TestDoCtxComputePanic: a panicking computation surfaces as a
+// fingerprinted *construct.PanicError to every waiter (the compute
+// goroutine must not crash the process or leave done unclosed), is not
+// cached, and the key recovers.
 func TestDoCtxComputePanic(t *testing.T) {
 	s := NewStore(8)
 	_, _, err := s.Do("k", func() (any, error) { panic("constructor bug") })
-	if err == nil || !strings.Contains(err.Error(), "panicked") {
-		t.Fatalf("err = %v, want panic-wrapping error", err)
+	var pe *construct.PanicError
+	if err == nil || !errors.As(err, &pe) || !strings.Contains(pe.Value, "constructor bug") {
+		t.Fatalf("err = %v, want *construct.PanicError carrying the panic message", err)
 	}
 	v, hit, err := s.Do("k", func() (any, error) { return "ok", nil })
 	if err != nil || hit || v != "ok" {

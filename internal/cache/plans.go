@@ -44,6 +44,12 @@ type CoverResult struct {
 	Method   construct.Method
 	// Optimal reports that the covering provably has ρ(n) cycles.
 	Optimal bool
+	// Degraded reports that the covering came from the deadline-degraded
+	// anytime pipeline (Options.Degrade): valid and verified, but
+	// constructed for speed, not quality. The flag rides the cache entry
+	// so every caller that hits a degraded signature sees the provenance
+	// end-to-end.
+	Degraded bool
 	// Demand is the demand graph the covering was verified against —
 	// the provenance that lets a cached entry serve as the parent of an
 	// incremental delta replan (ResolveDelta). It is shared with the
@@ -94,6 +100,40 @@ func (p *Plans) CoverCtx(ctx context.Context, in instance.Instance, opts Options
 	// mutable Cycles slice.
 	res.Covering = res.Covering.Clone()
 	return res, hit, nil
+}
+
+// Lookup probes the covering cache without computing: it returns the
+// cached (already verified) covering for the instance under the given
+// options, or ok=false on a miss. It never joins an in-flight
+// computation and never blocks beyond the shard lock — the degradation
+// path uses it to serve a stale-but-verified plan when the remaining
+// deadline cannot fit even the anytime pipeline. The returned covering
+// is the caller's private clone.
+func (p *Plans) Lookup(in instance.Instance, opts Options) (CoverResult, bool) {
+	if in.Demand == nil {
+		return CoverResult{}, false
+	}
+	v, ok := p.coverings.Get(Signature(in, opts))
+	if !ok {
+		return CoverResult{}, false
+	}
+	res := v.(CoverResult)
+	res.Covering = res.Covering.Clone()
+	return res, true
+}
+
+// LookupNetwork probes the network cache without computing (see
+// Lookup). The returned network is shared and must be treated as
+// read-only, like every cached *wdm.Network.
+func (p *Plans) LookupNetwork(in instance.Instance, opts Options) (*wdm.Network, bool) {
+	if in.Demand == nil || in.IsGeneral() {
+		return nil, false
+	}
+	v, ok := p.networks.Get(Signature(in, opts))
+	if !ok {
+		return nil, false
+	}
+	return v.(*wdm.Network), true
 }
 
 // CoverAllToAll is Cover for the all-to-all instance, keyed in O(1): the
@@ -191,11 +231,20 @@ func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverR
 		if !ok {
 			return CoverResult{}, fmt.Errorf("cache: unknown strategy %q (have %v)", opts.Strategy, construct.Strategies())
 		}
-		out, err := st.Solve(ctx, in, construct.Options{})
+		out, err := construct.SafeSolve(ctx, st, in, construct.Options{})
 		if err != nil {
 			return CoverResult{}, err
 		}
-		res = CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal}
+		res = CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal, Degraded: opts.Degrade}
+	} else if opts.Degrade {
+		// Deadline-degraded default pipeline: race only the anytime
+		// members. No optimality claim ever; the result is marked so the
+		// degradation is visible end-to-end.
+		out, err := construct.SafeSolve(ctx, construct.NewDegradedPortfolio(), in, construct.Options{})
+		if err != nil {
+			return CoverResult{}, err
+		}
+		res = CoverResult{Covering: out.Covering, Method: out.Method, Degraded: true}
 	} else if lam, ok := construct.UniformLambda(in.Demand); ok {
 		var cres construct.Result
 		var err error
@@ -235,13 +284,16 @@ func buildCover(ctx context.Context, in instance.Instance, opts Options) (CoverR
 func buildGeneralCover(ctx context.Context, in instance.Instance, opts Options) (CoverResult, error) {
 	var out construct.Outcome
 	var err error
-	if opts.Strategy != "" {
+	switch {
+	case opts.Strategy != "":
 		st, ok := construct.LookupStrategy(opts.Strategy)
 		if !ok {
 			return CoverResult{}, fmt.Errorf("cache: unknown strategy %q (have %v)", opts.Strategy, construct.Strategies())
 		}
-		out, err = st.Solve(ctx, in, construct.Options{})
-	} else {
+		out, err = construct.SafeSolve(ctx, st, in, construct.Options{})
+	case opts.Degrade:
+		out, err = construct.SafeSolve(ctx, construct.NewDegradedPortfolio(), in, construct.Options{})
+	default:
 		out, err = construct.GeneralSCCCtx(ctx, in, construct.Options{})
 	}
 	if err != nil {
@@ -250,5 +302,12 @@ func buildGeneralCover(ctx context.Context, in instance.Instance, opts Options) 
 	if err := cover.VerifyGeneral(out.Covering, in.Host); err != nil {
 		return CoverResult{}, fmt.Errorf("cache: refusing to cache unverified cover: %w", err)
 	}
-	return CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal, Demand: in.Demand}, nil
+	// Degraded general results drop the optimality claim even if the
+	// anytime race happened to meet the bound: the flag's contract is
+	// "built for speed", and callers comparing against the lower bound
+	// can still see Length vs SCCLowerBound themselves.
+	if opts.Degrade {
+		out.Optimal = false
+	}
+	return CoverResult{Covering: out.Covering, Method: out.Method, Optimal: out.Optimal, Degraded: opts.Degrade, Demand: in.Demand}, nil
 }

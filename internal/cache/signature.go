@@ -36,6 +36,13 @@ type Options struct {
 	// entries, so a strategy experiment never serves another strategy's
 	// covering.
 	Strategy string
+	// Degrade selects the deadline-degraded pipeline: the anytime
+	// portfolio (construct.AnytimeRegistry) instead of the full
+	// machinery, with the result marked CoverResult.Degraded. Part of
+	// the cache key (`;g=deg`, the same dimension scheme as `;s=`):
+	// a degraded covering cached under a tight deadline can never be
+	// served to a full-budget caller asking for the real pipeline.
+	Degrade bool
 }
 
 // Signature returns the canonical cache key for an instance under the
@@ -76,6 +83,9 @@ func withOptions(sig string, opts Options) string {
 	}
 	if opts.Strategy != "" {
 		sig += ";s=" + opts.Strategy
+	}
+	if opts.Degrade {
+		sig += ";g=deg"
 	}
 	return sig
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"github.com/cyclecover/cyclecover/internal/faultinject"
 )
 
 // WriteFileAtomic writes a file via temp-file + fsync + rename, so a
@@ -49,6 +51,10 @@ func WriteFileAtomic(path string, write func(w *os.File) error) (err error) {
 // atomically: a crash mid-save leaves the previous snapshot intact, never
 // a truncated file.
 func (p *Plans) SaveSnapshotFile(path string) error {
+	//cyclecover:faultpoint snapshot write: chaos tests prove a failed save never corrupts the previous file
+	if err := faultinject.Inject(faultinject.SiteSnapshotSave); err != nil {
+		return fmt.Errorf("cache: saving snapshot %s: %w", path, err)
+	}
 	return WriteFileAtomic(path, func(f *os.File) error {
 		return p.SaveSnapshot(f)
 	})
@@ -59,6 +65,10 @@ func (p *Plans) SaveSnapshotFile(path string) error {
 // (0, 0, nil) — while an unreadable or malformed file is, so callers can
 // decide to log-and-skip rather than fail startup (see cmd/cycled).
 func (p *Plans) LoadSnapshotFile(path string) (loaded, skipped int, err error) {
+	//cyclecover:faultpoint snapshot read: chaos tests prove a failed load starts cold, never fatal
+	if err := faultinject.Inject(faultinject.SiteSnapshotLoad); err != nil {
+		return 0, 0, fmt.Errorf("cache: opening snapshot: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {

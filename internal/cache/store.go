@@ -3,9 +3,10 @@ package cache
 import (
 	"container/list"
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
+
+	"github.com/cyclecover/cyclecover/internal/construct"
 )
 
 // DefaultShards is the shard count selected by NewStore. It is sized to
@@ -217,12 +218,14 @@ func (s *Store) DoCtx(ctx context.Context, key string, compute func(context.Cont
 // runCompute shields the store from a panicking computation: compute
 // runs on an internal goroutine (so waiters can detach), where an
 // unrecovered panic would kill the whole process and leave every waiter
-// hung on a never-closed done channel. A panic becomes an error, which
-// the store already refuses to cache.
+// hung on a never-closed done channel. A panic becomes a fingerprinted
+// *construct.PanicError — which the store refuses to cache, and which
+// the serving layer counts per fingerprint — failing only this key's
+// waiters.
 func runCompute(ctx context.Context, compute func(context.Context) (any, error)) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("cache: computation panicked: %v", r)
+			err = construct.Recovered("cache", r)
 		}
 	}()
 	return compute(ctx)

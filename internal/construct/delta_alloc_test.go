@@ -49,6 +49,13 @@ func TestDeltaRepairWarmZeroAllocs(t *testing.T) {
 			t.Error("repair stopped converging between runs")
 		}
 	})
+	// Under the race detector sync.Pool drops Put values by design, so
+	// the cover.Verify step inside DeltaRepair legitimately re-allocates
+	// its pooled scratch there; the convergence assertions above still
+	// ran. The zero-alloc pin holds for regular builds (and benchgate).
+	if raceEnabled {
+		t.Skipf("zero-alloc pin skipped under -race (pooled Verify scratch re-allocates; measured %.2f/op)", avg)
+	}
 	if avg != 0 {
 		t.Fatalf("warm delta repair allocated %.2f/op, want 0", avg)
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package construct
+
+// raceEnabled mirrors race_on_test.go for regular builds.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package construct
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops Put values — the
+// warm-repair zero-alloc pin is skipped there (its cover.Verify step
+// rides the pooled package-level path, which legitimately re-allocates
+// under race; the repair-correctness assertions still run).
+const raceEnabled = true

@@ -77,19 +77,39 @@ func Registry() []Strategy {
 	return []Strategy{ClosedForm{}, ExactSearch{}, Repair{}, GreedySweep{}, SCCExact{}, SCCKCycle{}, SCCGreedy{}}
 }
 
+// AnytimeRegistry returns the strategies cheap enough to serve under a
+// nearly-exhausted deadline: members that always terminate in one fast
+// pass, never search. It is the member set the portfolio demotes to
+// when the remaining context budget cannot fit the exact machinery
+// (see NewDegradedPortfolio); exactly one sub-family applies per
+// instance class, mirroring Registry. ClosedForm is deliberately
+// excluded — its even-n path is a search with no useful time bound.
+func AnytimeRegistry() []Strategy {
+	return []Strategy{GreedySweep{}, SCCKCycle{}, SCCGreedy{}}
+}
+
+// NewDegradedPortfolio returns the degraded-mode portfolio: the anytime
+// members raced under the standard deterministic winner rule. Results
+// are valid, verified coverings with no optimality claim — callers mark
+// them degraded end-to-end (see cache.Options.Degrade).
+func NewDegradedPortfolio() *Portfolio { return NewPortfolio(AnytimeRegistry()...) }
+
 // Strategies lists the selectable strategy names: the registry in
-// priority order, plus "portfolio".
+// priority order, plus "portfolio", plus any RegisterStrategy extras in
+// sorted name order.
 func Strategies() []string {
 	reg := Registry()
 	names := make([]string, 0, len(reg)+1)
 	for _, s := range reg {
 		names = append(names, s.Name())
 	}
-	return append(names, "portfolio")
+	names = append(names, "portfolio")
+	return append(names, extraNames()...)
 }
 
 // LookupStrategy resolves a strategy by registry name ("closed-form",
-// "exact", "repair", "greedy", or "portfolio" for the default race).
+// "exact", "repair", "greedy", or "portfolio" for the default race),
+// falling back to RegisterStrategy extras.
 func LookupStrategy(name string) (Strategy, bool) {
 	if name == "portfolio" {
 		return NewPortfolio(), true
@@ -99,7 +119,7 @@ func LookupStrategy(name string) (Strategy, bool) {
 			return s, true
 		}
 	}
-	return nil, false
+	return lookupExtra(name)
 }
 
 // UniformLambda reports whether g is λK_n for some uniform λ ≥ 1 — the
@@ -333,7 +353,11 @@ func (p *Portfolio) Solve(ctx context.Context, in instance.Instance, opts Option
 			defer wg.Done()
 			mopts := opts
 			mopts.Bound = &bounds[i]
-			out, err := m.Solve(ctxs[i], in, mopts)
+			// SafeSolve: a member that panics drops out of the race as an
+			// errored slot (its goroutine would otherwise kill the process —
+			// the pool's recover boundary cannot reach goroutines the
+			// portfolio spawns itself).
+			out, err := SafeSolve(ctxs[i], m, in, mopts)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

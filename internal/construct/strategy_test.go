@@ -141,16 +141,27 @@ func TestPortfolioDeterministic(t *testing.T) {
 }
 
 // TestStrategyRegistry pins the registry names and order — both are API
-// (the portfolio tie-break depends on the order).
+// (the portfolio tie-break depends on the order). RegisterStrategy
+// extras (other tests in this package add some) may only ever appear
+// after the pinned prefix, in sorted name order.
 func TestStrategyRegistry(t *testing.T) {
 	want := []string{"closed-form", "exact", "repair", "greedy", "scc-exact", "scc-kcycle", "scc-greedy", "portfolio"}
 	got := Strategies()
-	if len(got) != len(want) {
-		t.Fatalf("Strategies() = %v, want %v", got, want)
+	if len(got) < len(want) {
+		t.Fatalf("Strategies() = %v, want prefix %v", got, want)
 	}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("Strategies()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	extras := got[len(want):]
+	if !sort.StringsAreSorted(extras) {
+		t.Fatalf("registered extras %v are not in sorted name order", extras)
+	}
+	for _, name := range extras {
+		if st, ok := LookupStrategy(name); !ok || st.Name() != name {
+			t.Fatalf("registered extra %q does not resolve via LookupStrategy", name)
 		}
 	}
 	for _, name := range want {

@@ -1,0 +1,58 @@
+// Package faultinject provides deterministic, seed-keyed failpoints for
+// chaos rehearsal: named sites threaded through the serving path (cache
+// snapshot I/O, pool dispatch, strategy entry) where tests inject
+// errors, latency spikes, or panics and prove the daemon sheds,
+// degrades, and recovers instead of collapsing.
+//
+// The package has two builds. Without the `faultinject` build tag —
+// every production build — Inject is a constant-returning no-op the
+// compiler inlines away, and Configure refuses to arm anything, so a
+// stray spec in a config file can never rehearse faults in production.
+// With `-tags faultinject` the failpoints are live: Configure parses a
+// spec, and every Inject call consults it.
+//
+// Spec grammar (DESIGN.md §12):
+//
+//	spec    = site "=" action *( ";" site "=" action )
+//	action  = verb [ "(" arg ")" ] [ "@" probability ] [ "#" limit ]
+//	verb    = "err" | "delay" | "panic"
+//
+// `err` makes Inject return an error wrapping ErrInjected (arg is the
+// message), `delay(50ms)` sleeps for the parsed duration, and `panic`
+// panics with the arg. `@0.25` fires the action on a deterministic
+// quarter of the site's hits — the decision for hit k is a pure
+// function of (seed, site, k), so a given seed replays the identical
+// fault schedule on every run regardless of goroutine interleaving.
+// `#2` fires the action on the first two eligible hits only. Example:
+//
+//	pool.dispatch=delay(50ms)@0.5;strategy.solve=panic(chaos)#1
+//
+// Fault-injection call sites are load-bearing chaos surface: cyclelint
+// requires each one to carry a `//cyclecover:faultpoint <reason>`
+// annotation, so the set of rehearsable failure points stays auditable.
+package faultinject
+
+import "errors"
+
+// ErrInjected is the sentinel wrapped by every error the `err` verb
+// returns; tests distinguish injected faults from real ones with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Canonical site names. A site constant exists for every failpoint
+// threaded into the serving path; Configure accepts arbitrary site
+// strings, so ad-hoc test-local sites need no registration.
+const (
+	// SiteSnapshotSave guards the cache snapshot write path
+	// (Plans.SaveSnapshotFile).
+	SiteSnapshotSave = "cache.snapshot.save"
+	// SiteSnapshotLoad guards the cache snapshot read path
+	// (Plans.LoadSnapshotFile).
+	SiteSnapshotLoad = "cache.snapshot.load"
+	// SitePoolDispatch guards worker-pool job dispatch, immediately
+	// before a job's run function executes.
+	SitePoolDispatch = "pool.dispatch"
+	// SiteStrategySolve guards every strategy invocation that runs
+	// behind the construct.SafeSolve panic boundary.
+	SiteStrategySolve = "strategy.solve"
+)

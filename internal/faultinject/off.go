@@ -1,0 +1,27 @@
+//go:build !faultinject
+
+package faultinject
+
+import "errors"
+
+// Enabled reports whether this binary was built with failpoints
+// compiled in (`-tags faultinject`).
+const Enabled = false
+
+// Inject is the failpoint hook. In this build it is a no-op that the
+// compiler inlines to nothing: production binaries carry the call
+// sites but none of the machinery.
+func Inject(site string) error { return nil }
+
+// Configure refuses to arm failpoints in a production build, so specs
+// can only ever take effect in binaries built for chaos rehearsal.
+func Configure(spec string, seed int64) error {
+	return errors.New("faultinject: failpoints compiled out (build with -tags faultinject)")
+}
+
+// Reset clears the active configuration; a no-op in this build.
+func Reset() {}
+
+// Fired reports how many times the site's action has fired; always zero
+// in this build.
+func Fired(site string) uint64 { return 0 }

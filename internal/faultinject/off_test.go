@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// TestCompiledOut pins the production contract: failpoints cannot be
+// armed, Inject is a guaranteed no-op, and nothing ever fires.
+func TestCompiledOut(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true in a !faultinject build")
+	}
+	if err := Configure("pool.dispatch=err", 1); err == nil {
+		t.Fatal("Configure armed failpoints in a production build")
+	}
+	if err := Inject(SitePoolDispatch); err != nil {
+		t.Fatalf("Inject = %v, want nil", err)
+	}
+	if Fired(SitePoolDispatch) != 0 {
+		t.Fatal("Fired > 0 in a production build")
+	}
+	Reset() // must be callable
+}

@@ -1,0 +1,190 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this binary was built with failpoints
+// compiled in (`-tags faultinject`).
+const Enabled = true
+
+// verbs of the failpoint grammar.
+const (
+	verbErr   = "err"
+	verbDelay = "delay"
+	verbPanic = "panic"
+)
+
+// action is one parsed failpoint behaviour.
+type action struct {
+	verb  string
+	arg   string        // err/panic message
+	delay time.Duration // delay verb only
+	prob  float64       // (0,1]; 1 fires on every hit
+	limit uint64        // 0 = unlimited; else fire on the first limit eligible hits
+}
+
+// site is one armed failpoint: its action plus hit bookkeeping.
+type site struct {
+	act      action
+	hits     atomic.Uint64 // arrivals at this site since Configure
+	eligible atomic.Uint64 // arrivals that passed the probability gate
+	fired    atomic.Uint64 // actions actually taken
+}
+
+// config is one immutable armed configuration; Configure swaps the
+// whole pointer so Inject reads a consistent view without locking.
+type config struct {
+	seed  int64
+	sites map[string]*site
+}
+
+var current atomic.Pointer[config]
+
+// Configure parses spec (see the package comment for the grammar) and
+// arms the failpoints, replacing any previous configuration. The seed
+// keys every probabilistic decision: identical (spec, seed) pairs
+// replay the identical fault schedule.
+func Configure(spec string, seed int64) error {
+	cfg := &config{seed: seed, sites: make(map[string]*site)}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: clause %q: want site=action", clause)
+		}
+		act, err := parseAction(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("faultinject: site %s: %w", name, err)
+		}
+		if _, dup := cfg.sites[name]; dup {
+			return fmt.Errorf("faultinject: site %s configured twice", name)
+		}
+		cfg.sites[name] = &site{act: act}
+	}
+	current.Store(cfg)
+	return nil
+}
+
+// Reset disarms every failpoint.
+func Reset() { current.Store(nil) }
+
+// Fired reports how many times the site's action has fired since the
+// last Configure.
+func Fired(name string) uint64 {
+	cfg := current.Load()
+	if cfg == nil {
+		return 0
+	}
+	st := cfg.sites[name]
+	if st == nil {
+		return 0
+	}
+	return st.fired.Load()
+}
+
+// Inject is the failpoint hook: a no-op unless Configure armed this
+// site, otherwise the site's action — an error wrapping ErrInjected, a
+// sleep, or a panic. Probabilistic sites decide deterministically from
+// (seed, site, hit index), so schedules replay exactly under -race and
+// arbitrary goroutine interleavings (the hit index a goroutine draws
+// may vary with scheduling, but the set of fired hits for a given
+// arrival order does not).
+func Inject(name string) error {
+	cfg := current.Load()
+	if cfg == nil {
+		return nil
+	}
+	st := cfg.sites[name]
+	if st == nil {
+		return nil
+	}
+	n := st.hits.Add(1) - 1 // zero-based arrival index
+	if st.act.prob < 1 && !decide(cfg.seed, name, n, st.act.prob) {
+		return nil
+	}
+	if st.act.limit > 0 && st.eligible.Add(1) > st.act.limit {
+		return nil
+	}
+	st.fired.Add(1)
+	switch st.act.verb {
+	case verbDelay:
+		time.Sleep(st.act.delay)
+		return nil
+	case verbPanic:
+		panic(fmt.Sprintf("faultinject: site %s: %s", name, st.act.arg))
+	default: // verbErr
+		return fmt.Errorf("%w: site %s: %s", ErrInjected, name, st.act.arg)
+	}
+}
+
+// parseAction parses verb[(arg)][@prob][#limit].
+func parseAction(s string) (action, error) {
+	act := action{prob: 1}
+	if i := strings.LastIndexByte(s, '#'); i >= 0 {
+		lim, err := strconv.ParseUint(strings.TrimSpace(s[i+1:]), 10, 64)
+		if err != nil || lim == 0 {
+			return action{}, fmt.Errorf("bad #limit in %q", s)
+		}
+		act.limit = lim
+		s = s[:i]
+	}
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		p, err := strconv.ParseFloat(strings.TrimSpace(s[i+1:]), 64)
+		if err != nil || p <= 0 || p > 1 {
+			return action{}, fmt.Errorf("bad @probability in %q (want 0 < p ≤ 1)", s)
+		}
+		act.prob = p
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return action{}, fmt.Errorf("unclosed argument in %q", s)
+		}
+		act.arg = s[i+1 : len(s)-1]
+		s = s[:i]
+	}
+	act.verb = strings.TrimSpace(s)
+	switch act.verb {
+	case verbErr, verbPanic:
+		if act.arg == "" {
+			act.arg = "injected"
+		}
+	case verbDelay:
+		d, err := time.ParseDuration(act.arg)
+		if err != nil || d < 0 {
+			return action{}, fmt.Errorf("delay needs a duration argument, got %q", act.arg)
+		}
+		act.delay = d
+	default:
+		return action{}, fmt.Errorf("unknown verb %q (want err, delay, or panic)", act.verb)
+	}
+	return act, nil
+}
+
+// decide is the deterministic coin flip for probabilistic sites: a
+// splitmix64 finalizer over (seed, site hash, hit index) mapped to
+// [0,1). Pure, so a schedule is a function of the configuration alone.
+func decide(seed int64, name string, n uint64, prob float64) bool {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := uint64(seed) ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < prob
+}

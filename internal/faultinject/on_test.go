@@ -1,0 +1,167 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInjectErr checks the err verb fires, wraps ErrInjected, and names
+// the site and message.
+func TestInjectErr(t *testing.T) {
+	defer Reset()
+	if err := Configure("a.site=err(disk full)", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("a.site")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "a.site") || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error %q does not name site and message", err)
+	}
+	if err := Inject("other.site"); err != nil {
+		t.Fatalf("unconfigured site injected %v", err)
+	}
+}
+
+// TestInjectDisarmed checks Inject is a no-op before Configure and
+// after Reset.
+func TestInjectDisarmed(t *testing.T) {
+	Reset()
+	if err := Inject("a.site"); err != nil {
+		t.Fatalf("disarmed Inject = %v, want nil", err)
+	}
+	if err := Configure("a.site=err", 1); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if err := Inject("a.site"); err != nil {
+		t.Fatalf("Inject after Reset = %v, want nil", err)
+	}
+}
+
+// TestInjectLimit checks #N fires on exactly the first N hits.
+func TestInjectLimit(t *testing.T) {
+	defer Reset()
+	if err := Configure("a.site=err#2", 1); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 10; i++ {
+		if Inject("a.site") != nil {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("limit #2 fired %d times, want 2", got)
+	}
+	if Fired("a.site") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("a.site"))
+	}
+}
+
+// TestInjectPanic checks the panic verb panics with the site name.
+func TestInjectPanic(t *testing.T) {
+	defer Reset()
+	if err := Configure("a.site=panic(chaos)", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Inject did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "a.site") {
+			t.Fatalf("panic value %v does not name the site", r)
+		}
+	}()
+	Inject("a.site")
+}
+
+// TestInjectDelay checks the delay verb sleeps at least the configured
+// duration.
+func TestInjectDelay(t *testing.T) {
+	defer Reset()
+	if err := Configure("a.site=delay(30ms)", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("a.site"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay slept %v, want ≥ 30ms", d)
+	}
+}
+
+// TestProbabilityDeterminism checks the @p gate is a pure function of
+// (seed, site, hit index): two runs with one seed agree hit-for-hit,
+// and the overall rate is in a sane band.
+func TestProbabilityDeterminism(t *testing.T) {
+	defer Reset()
+	schedule := func(seed int64) []bool {
+		if err := Configure("a.site=err@0.25", seed); err != nil {
+			t.Fatal(err)
+		}
+		fired := make([]bool, 400)
+		for i := range fired {
+			fired[i] = Inject("a.site") != nil
+		}
+		return fired
+	}
+	a, b := schedule(7), schedule(7)
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical (spec, seed) runs", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n < 50 || n > 150 {
+		t.Fatalf("@0.25 fired %d/400 times, want roughly 100", n)
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestConfigureRejects checks the grammar's error paths.
+func TestConfigureRejects(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"noequals",
+		"a.site=frobnicate",
+		"a.site=delay",
+		"a.site=delay(nope)",
+		"a.site=err@2",
+		"a.site=err@0",
+		"a.site=err#0",
+		"a.site=err(unclosed",
+		"a.site=err;a.site=panic",
+	} {
+		if err := Configure(spec, 1); err == nil {
+			t.Errorf("Configure(%q) accepted, want error", spec)
+		}
+	}
+	// Reconfiguring after a rejected spec must still work.
+	if err := Configure("a.site=err", 1); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("a.site") == nil {
+		t.Fatal("site not armed after valid Configure")
+	}
+}

@@ -57,6 +57,12 @@ func (s *Server) handlePlanDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	release, retry, ok := s.adm.acquire("/plan/delta")
+	if !ok {
+		writeShed(w, "/plan/delta", retry)
+		return
+	}
+	defer release()
 	r.Body = http.MaxBytesReader(w, r.Body, maxDeltaBody)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {

@@ -11,11 +11,14 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
+	"github.com/cyclecover/cyclecover/internal/construct"
 	"github.com/cyclecover/cyclecover/internal/fanout"
+	"github.com/cyclecover/cyclecover/internal/faultinject"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -31,15 +34,22 @@ var ErrNotScheduled = errors.New("server: job abandoned before reaching a worker
 // additional submission either attaches to a pending job with the same
 // signature or blocks until queue space frees.
 type Pool struct {
-	jobs chan *poolJob
-	quit chan struct{}
-	wg   sync.WaitGroup
+	jobs    chan *poolJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	workers int
 
 	mu        sync.Mutex
 	pending   map[string]*poolJob // queued or running, by signature
 	closed    bool
 	executed  uint64
 	coalesced uint64
+	// panics counts recovered panics per fingerprint (construct.PanicError
+	// from any containment layer — the pool's own boundary, the cache's
+	// compute goroutine, or a strategy guard), counted once per failed
+	// job. panicsTotal is their sum; both feed /metrics.
+	panics      map[string]uint64
+	panicsTotal uint64
 	// running counts jobs currently executing on a worker. It drives the
 	// per-job fan-out stamp: each job gets its fair share of the cores
 	// (fanout.Share), so nested parallel stages — the exact search, the
@@ -82,7 +92,9 @@ func NewPool(workers, queue int) *Pool {
 	p := &Pool{
 		jobs:    make(chan *poolJob, queue),
 		quit:    make(chan struct{}),
+		workers: workers,
 		pending: make(map[string]*poolJob),
+		panics:  make(map[string]uint64),
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -191,7 +203,7 @@ func (p *Pool) worker() {
 				p.running++
 				share := fanout.Share(runtime.GOMAXPROCS(0), p.running)
 				p.mu.Unlock()
-				j.val, j.err = j.run(fanout.With(j.ctx, share))
+				j.val, j.err = p.runJob(j, share)
 				p.mu.Lock()
 				p.running--
 				p.mu.Unlock()
@@ -203,12 +215,39 @@ func (p *Pool) worker() {
 				delete(p.pending, j.sig)
 			}
 			p.executed++
+			// Count recovered panics once per failed job, wherever the
+			// containment boundary that caught them lives.
+			var pe *construct.PanicError
+			if errors.As(j.err, &pe) {
+				p.panics[pe.Fingerprint]++
+				p.panicsTotal++
+			}
 			p.mu.Unlock()
 			close(j.done)
 		case <-p.quit:
 			return
 		}
 	}
+}
+
+// runJob executes one job on a worker behind the pool's containment
+// boundary: a panic escaping the computation is recovered into a
+// fingerprinted *construct.PanicError that fails only this job's
+// waiters — the worker survives, every other queued job still runs, and
+// the daemon keeps serving. (Goroutines a job spawns internally are out
+// of this recover's reach; the portfolio runner guards its members with
+// construct.SafeSolve for exactly that reason.)
+func (p *Pool) runJob(j *poolJob, share int) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, construct.Recovered("pool", r)
+		}
+	}()
+	//cyclecover:faultpoint pool dispatch: chaos suite injects worker-side latency and errors here
+	if err := faultinject.Inject(faultinject.SitePoolDispatch); err != nil {
+		return nil, fmt.Errorf("server: pool dispatch: %w", err)
+	}
+	return j.run(fanout.With(j.ctx, share))
 }
 
 // Close stops the workers and fails every unfinished job. Callers should
@@ -248,16 +287,56 @@ func (p *Pool) Close() {
 	}
 }
 
-// PoolStats reports pool traffic: jobs executed by workers and
-// submissions batched onto an existing job.
+// PoolStats reports pool traffic: jobs executed by workers, submissions
+// batched onto an existing job, current occupancy (running jobs and
+// queued depth — the admission layer's shed signal), and panics
+// recovered at any containment boundary.
 type PoolStats struct {
-	Executed  uint64 `json:"executed"`
-	Coalesced uint64 `json:"coalesced"`
+	Executed        uint64 `json:"executed"`
+	Coalesced       uint64 `json:"coalesced"`
+	Running         int    `json:"running"`
+	QueueDepth      int    `json:"queueDepth"`
+	PanicsRecovered uint64 `json:"panicsRecovered"`
 }
 
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return PoolStats{Executed: p.executed, Coalesced: p.coalesced}
+	return PoolStats{
+		Executed:        p.executed,
+		Coalesced:       p.coalesced,
+		Running:         p.running,
+		QueueDepth:      len(p.jobs),
+		PanicsRecovered: p.panicsTotal,
+	}
+}
+
+// QueueDepth reports how many jobs are waiting for a worker right now —
+// the signal the admission layer sheds on.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// Workers reports the worker count. /plan/batch bounds its own fan-out
+// to it: handler goroutines beyond the worker count could only park in
+// the queue, which is exactly the buildup admission control exists to
+// prevent.
+func (p *Pool) Workers() int { return p.workers }
+
+// Closed reports whether the pool has stopped accepting work (/readyz).
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Panics returns a copy of the per-fingerprint recovered-panic counters.
+func (p *Pool) Panics() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := make(map[string]uint64, len(p.panics))
+	//cyclecover:nondet map copy; consumers sort the keys before emission
+	for k, v := range p.panics {
+		m[k] = v
+	}
+	return m
 }

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cyclecover/cyclecover/internal/cache"
@@ -98,6 +99,22 @@ type Config struct {
 	// underlying construction is cancelled mid-search once no other
 	// caller wants it. 0 disables the deadline.
 	PlanTimeout time.Duration
+	// MaxInflight caps concurrently admitted requests per work endpoint
+	// (/plan, /plan/batch, /plan/delta, /simulate, /verify). Past the
+	// cap the endpoint sheds with a structured 429 and a Retry-After
+	// hint derived from observed job latency. 0 disables the cap.
+	MaxInflight int
+	// MaxQueue sheds new work while the pool's pending queue is at least
+	// this deep, bounding how much latency the queue can accumulate
+	// ahead of an admitted request. 0 disables the check.
+	MaxQueue int
+	// Degrade enables deadline-aware graceful degradation: when a
+	// request's remaining context budget is smaller than the measured
+	// cost estimate of the full pipeline, the plan is built by the
+	// anytime portfolio instead (marked degraded:true, cached under its
+	// own signature dimension); when even that estimate does not fit, a
+	// verified stale cache hit is served with X-Degraded: stale.
+	Degrade bool
 }
 
 // Server is the planner service: HTTP handlers over a covering cache and
@@ -109,6 +126,21 @@ type Server struct {
 	mux         *http.ServeMux
 	start       time.Time
 	planTimeout time.Duration
+	adm         *admission
+	costs       *costModel
+	degrade     bool
+
+	// ready and draining drive /readyz: ready flips false until the
+	// embedding process finishes startup work (SetReady), draining flips
+	// true when graceful shutdown begins (StartDrain) so load balancers
+	// stop routing here while in-flight requests finish.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// degraded counts degrade decisions; degradedStale the subset
+	// answered from a verified stale cache entry.
+	degraded      atomic.Uint64
+	degradedStale atomic.Uint64
 
 	mu       sync.Mutex
 	requests map[string]uint64 // per-endpoint served count
@@ -122,17 +154,34 @@ func New(cfg Config) *Server {
 		mux:         http.NewServeMux(),
 		start:       time.Now(),
 		planTimeout: cfg.PlanTimeout,
+		degrade:     cfg.Degrade,
+		costs:       newCostModel(),
 		requests:    make(map[string]uint64),
 	}
+	s.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, s.pool)
+	s.ready.Store(true)
 	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/plan/batch", s.handlePlanBatch)
 	s.mux.HandleFunc("/plan/delta", s.handlePlanDelta)
 	s.mux.HandleFunc("/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/verify", s.handleVerify)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/healthz", s.handleLivez) // alias: /healthz is the historical liveness path
+	s.mux.HandleFunc("/livez", s.handleLivez)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
+
+// SetReady flips the /readyz verdict. The embedding process calls
+// SetReady(false) before long startup work (snapshot warming) and
+// SetReady(true) once the service should receive traffic. Servers start
+// ready, so embedded and test uses need no ceremony.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// StartDrain marks the server as draining: /readyz answers 503 so load
+// balancers route away, while in-flight and even new requests still
+// complete. Call it before http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -233,13 +282,20 @@ type planResponse struct {
 	Length        int     `json:"length,omitempty"`
 	SCCLowerBound int     `json:"sccLowerBound,omitempty"`
 	Optimal       bool    `json:"optimal"`
-	Method        string  `json:"method"`
-	Cycles        [][]int `json:"cycles"`
-	Wavelengths   int     `json:"wavelengths"`
-	ADMs          int     `json:"adms"`
-	MaxTransit    int     `json:"maxTransit"`
-	Cost          float64 `json:"cost"`
-	CacheHit      bool    `json:"cacheHit"`
+	// Degraded marks a plan built (or served) under deadline pressure by
+	// the anytime portfolio rather than the full pipeline: verified, but
+	// with no optimality claim. Stale additionally marks a degraded
+	// answer served from a previously cached entry without any new
+	// construction (the X-Degraded: stale response).
+	Degraded    bool    `json:"degraded,omitempty"`
+	Stale       bool    `json:"stale,omitempty"`
+	Method      string  `json:"method"`
+	Cycles      [][]int `json:"cycles"`
+	Wavelengths int     `json:"wavelengths"`
+	ADMs        int     `json:"adms"`
+	MaxTransit  int     `json:"maxTransit"`
+	Cost        float64 `json:"cost"`
+	CacheHit    bool    `json:"cacheHit"`
 }
 
 // planned bundles what one pool job computes.
@@ -292,7 +348,32 @@ func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (pla
 	}
 
 	opts := cache.Options{Strategy: strategy}
+	// Deadline-aware degradation: when the measured full-pipeline cost
+	// does not fit the remaining context budget, demote to the anytime
+	// portfolio under the degraded signature dimension; when even that
+	// does not fit, serve a verified stale cache entry if one exists.
+	// Named strategies are an explicit caller choice and never demoted,
+	// and an unknown cost (cold bucket) is assumed to fit, so a fresh
+	// server behaves exactly as with Degrade off.
+	if s.degrade && strategy == "" {
+		if dl, hasDeadline := ctx.Deadline(); hasDeadline {
+			if est, known := s.costs.estimate(modeFull, in); known && time.Until(dl) < est {
+				if dEst, dKnown := s.costs.estimate(modeDegraded, in); dKnown && time.Until(dl) < dEst {
+					if resp, ok := s.stalePlan(in, strategy); ok {
+						s.degraded.Add(1)
+						s.degradedStale.Add(1)
+						return resp, http.StatusOK, nil
+					}
+					// Nothing cached to fall back on: attempt the degraded
+					// build anyway — a late answer beats none.
+				}
+				opts.Degrade = true
+				s.degraded.Add(1)
+			}
+		}
+	}
 	sig := cache.Signature(in, opts)
+	jobStart := time.Now()
 	v, err := s.pool.Submit(ctx, sig, func(jctx context.Context) (any, error) {
 		res, coverHit, err := s.plans.CoverCtx(jctx, in, opts)
 		if err != nil {
@@ -322,33 +403,84 @@ func (s *Server) planOne(ctx context.Context, n int, spec, strategy string) (pla
 		return planResponse{}, jobStatus(ctx, err), fmt.Errorf("plan failed: %w", err)
 	}
 	pl := v.(planned)
+	if !pl.hit {
+		// Feed the admission and cost models from real constructions only:
+		// cache hits say nothing about what building a plan costs.
+		elapsed := time.Since(jobStart)
+		s.adm.observe(elapsed)
+		mode := modeFull
+		if opts.Degrade {
+			mode = modeDegraded
+		}
+		s.costs.observe(mode, in, elapsed)
+	}
+	return buildPlanResponse(sig, in, strategy, pl.res, pl.nw, pl.hit), http.StatusOK, nil
+}
 
+// buildPlanResponse assembles the /plan JSON from a covering result and
+// (for ring instances) its WDM network facts. Shared by the normal
+// planOne path and the stale-serve path.
+func buildPlanResponse(sig string, in instance.Instance, strategy string, res cache.CoverResult, nw *wdmNetwork, hit bool) planResponse {
 	resp := planResponse{
 		Signature: sig,
-		N:         n,
+		N:         in.N(),
 		Demand:    in.Name,
 		Strategy:  strategy,
-		Size:      pl.res.Covering.Size(),
-		Optimal:   pl.res.Optimal,
-		Method:    string(pl.res.Method),
-		CacheHit:  pl.hit,
+		Size:      res.Covering.Size(),
+		Optimal:   res.Optimal,
+		Degraded:  res.Degraded,
+		Method:    string(res.Method),
+		CacheHit:  hit,
 	}
-	if pl.nw != nil {
-		resp.Wavelengths = pl.nw.wavelengths
-		resp.ADMs = pl.nw.adms
-		resp.MaxTransit = pl.nw.maxTransit
-		resp.Cost = pl.nw.cost
+	if nw != nil {
+		resp.Wavelengths = nw.wavelengths
+		resp.ADMs = nw.adms
+		resp.MaxTransit = nw.maxTransit
+		resp.Cost = nw.cost
 	}
 	if in.IsGeneral() {
-		resp.Length = pl.res.Covering.TotalLength()
+		resp.Length = res.Covering.TotalLength()
 		resp.SCCLowerBound = cover.SCCLowerBound(in.Host)
 	} else if isAllToAll(in) {
-		resp.Rho = cover.Rho(n)
+		resp.Rho = cover.Rho(in.N())
 	}
-	for _, c := range pl.res.Covering.Cycles {
+	for _, c := range res.Covering.Cycles {
 		resp.Cycles = append(resp.Cycles, c.Vertices())
 	}
-	return resp, http.StatusOK, nil
+	return resp
+}
+
+// stalePlan probes the cache — full-budget entry first, then the
+// degraded dimension — for a verified previous answer to serve without
+// any construction when even the anytime portfolio is predicted to blow
+// the deadline. Ring instances additionally need their WDM network
+// cached; a covering without one falls through (the response could not
+// be completed without doing work).
+func (s *Server) stalePlan(in instance.Instance, strategy string) (planResponse, bool) {
+	for _, o := range []cache.Options{{Strategy: strategy}, {Strategy: strategy, Degrade: true}} {
+		res, ok := s.plans.Lookup(in, o)
+		if !ok {
+			continue
+		}
+		var nw *wdmNetwork
+		if !in.IsGeneral() {
+			n, ok := s.plans.LookupNetwork(in, o)
+			if !ok {
+				continue
+			}
+			nw = &wdmNetwork{
+				wavelengths: n.Wavelengths(),
+				adms:        n.ADMCount(),
+				maxTransit:  n.MaxTransit(),
+				cost:        defaultCost(n),
+			}
+		}
+		resp := buildPlanResponse(cache.Signature(in, o), in, strategy, res, nw, true)
+		resp.Degraded = true
+		resp.Stale = true
+		return resp, true
+	}
+	return planResponse{}, false
 }
 
 // handlePlan serves GET/POST /plan?n=<int>&demand=<spec>[&strategy=<name>].
@@ -363,6 +495,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
+	release, retry, ok := s.adm.acquire("/plan")
+	if !ok {
+		writeShed(w, "/plan", retry)
+		return
+	}
+	defer release()
 	nStr := r.FormValue("n")
 	if nStr == "" {
 		writeError(w, http.StatusBadRequest, "missing required parameter n")
@@ -388,6 +526,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "HIT")
 	} else {
 		w.Header().Set("X-Cache", "MISS")
+	}
+	if resp.Stale {
+		w.Header().Set("X-Degraded", "stale")
+	} else if resp.Degraded {
+		w.Header().Set("X-Degraded", "true")
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -423,10 +566,14 @@ type batchPlanLine struct {
 
 // handlePlanBatch serves POST /plan/batch: a newline-delimited JSON
 // stream of plan requests, answered by a newline-delimited JSON stream
-// of results written as they complete. All items run concurrently
-// through the same bounded worker pool as /plan — same-signature items
-// (within the batch or against live /plan traffic) attach to one job —
-// and per-item failures are reported in-line without failing the batch.
+// of results written as they complete. Items run concurrently through
+// the same bounded worker pool as /plan — same-signature items (within
+// the batch or against live /plan traffic) attach to one job — and
+// per-item failures are reported in-line without failing the batch.
+// Batch fan-out is bounded to the pool's worker count, and every slot
+// re-checks the request context before touching the pool: when the
+// client disconnects mid-batch, not-yet-started slots fail in place
+// without spawning constructions.
 func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	s.count("/plan/batch")
 	if r.Method != http.MethodPost {
@@ -434,6 +581,12 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	release, retry, ok := s.adm.acquire("/plan/batch")
+	if !ok {
+		writeShed(w, "/plan/batch", retry)
+		return
+	}
+	defer release()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	type batchItem struct {
 		req batchPlanRequest
@@ -484,23 +637,47 @@ func (s *Server) handlePlanBatch(w http.ResponseWriter, r *http.Request) {
 	// items fail fast with the context error in their slot.
 	ctx, cancel := s.planContext(r)
 	defer cancel()
+	// Fan out over at most the pool's worker count: more handler
+	// goroutines could only park in the pool queue, and an unbounded
+	// spawn would keep stuffing that queue after the client is gone.
+	// Each slot gates on the context before submitting, so a dropped
+	// reader stops spawning constructions at the next slot boundary.
+	workers := s.pool.Workers()
+	if workers > len(items) {
+		workers = len(items)
+	}
 	results := make(chan batchPlanLine)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, it := range items {
+	for g := 0; g < workers; g++ {
 		wg.Add(1)
-		go func(i int, it batchItem) {
+		go func() {
 			defer wg.Done()
-			if it.err != nil {
-				results <- batchPlanLine{Index: i, Error: it.err.Error()}
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				it := items[i]
+				switch {
+				case it.err != nil:
+					results <- batchPlanLine{Index: i, Error: it.err.Error()}
+				case ctx.Err() != nil:
+					results <- batchPlanLine{Index: i, Error: "batch cancelled: " + ctx.Err().Error()}
+				default:
+					if retry, ok := s.adm.checkQueue("/plan/batch"); !ok {
+						results <- batchPlanLine{Index: i, Error: fmt.Sprintf("shed: pool queue full, retry after %ds", retry)}
+						continue
+					}
+					resp, _, err := s.planOne(ctx, it.req.N, it.req.Demand, it.req.Strategy)
+					if err != nil {
+						results <- batchPlanLine{Index: i, Error: err.Error()}
+						continue
+					}
+					results <- batchPlanLine{Index: i, Plan: &resp}
+				}
 			}
-			resp, _, err := s.planOne(ctx, it.req.N, it.req.Demand, it.req.Strategy)
-			if err != nil {
-				results <- batchPlanLine{Index: i, Error: err.Error()}
-				return
-			}
-			results <- batchPlanLine{Index: i, Plan: &resp}
-		}(i, it)
+		}()
 	}
 	go func() {
 		wg.Wait()
@@ -552,6 +729,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	release, retry, ok := s.adm.acquire("/verify")
+	if !ok {
+		writeShed(w, "/verify", retry)
+		return
+	}
+	defer release()
 	var req verifyRequest
 	r.Body = http.MaxBytesReader(w, r.Body, maxVerifyBody)
 	body, err := io.ReadAll(r.Body)
@@ -654,7 +837,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// healthResponse is the JSON shape of /healthz.
+// healthResponse is the JSON shape of /livez (and its /healthz alias).
 type healthResponse struct {
 	Status        string           `json:"status"`
 	UptimeSeconds float64          `json:"uptimeSeconds"`
@@ -662,14 +845,42 @@ type healthResponse struct {
 	Pool          PoolStats        `json:"pool"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.count("/healthz")
+// handleLivez answers liveness: the process is up and the handler loop
+// responsive. It stays 200 through startup and drain — restarting a
+// draining daemon would be exactly wrong — and carries the cache/pool
+// counters for humans. Readiness lives on /readyz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.count(r.URL.Path)
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.plans.Stats(),
 		Pool:          s.pool.Stats(),
 	})
+}
+
+// readyResponse is the JSON shape of /readyz.
+type readyResponse struct {
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+}
+
+// handleReadyz answers readiness: whether this instance should receive
+// new traffic. 503 while startup work is pending (SetReady), while the
+// graceful-shutdown drain runs (StartDrain), or once the pool has
+// stopped accepting work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.count("/readyz")
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "starting"})
+	case s.pool.Closed():
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "stopped"})
+	default:
+		writeJSON(w, http.StatusOK, readyResponse{Status: "ready", Ready: true})
+	}
 }
 
 // handleMetrics emits the counters in the Prometheus text exposition
@@ -701,6 +912,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	emit("cycled_pool_executed_total", "", ps.Executed)
 	emit("cycled_pool_coalesced_total", "", ps.Coalesced)
+	emit("cycled_pool_running", "", uint64(ps.Running))
+	emit("cycled_queue_depth", "", uint64(ps.QueueDepth))
+	// Resilience counters: shed requests (total and per endpoint),
+	// degrade decisions, and recovered panics (total and per
+	// fingerprint). All label sets are sorted for byte-stable scrapes.
+	shedByPath, shedTotal := s.adm.snapshot()
+	emit("cycled_shed_total", "", shedTotal)
+	shedPaths := make([]string, 0, len(shedByPath))
+	//cyclecover:nondet keys are sorted immediately below before emission
+	for p := range shedByPath {
+		shedPaths = append(shedPaths, p)
+	}
+	sort.Strings(shedPaths)
+	for _, p := range shedPaths {
+		emit("cycled_shed_path_total", fmt.Sprintf("path=%q", p), shedByPath[p])
+	}
+	emit("cycled_degraded_total", "", s.degraded.Load())
+	emit("cycled_degraded_stale_total", "", s.degradedStale.Load())
+	emit("cycled_panics_recovered_total", "", ps.PanicsRecovered)
+	panics := s.pool.Panics()
+	fps := make([]string, 0, len(panics))
+	//cyclecover:nondet keys are sorted immediately below before emission
+	for fp := range panics {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		emit("cycled_panics_recovered_fingerprint_total", fmt.Sprintf("fingerprint=%q", fp), panics[fp])
+	}
 	// Snapshot the counters before emitting: writing to a slow client
 	// under s.mu would block every other handler's count().
 	s.mu.Lock()

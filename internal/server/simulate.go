@@ -128,6 +128,12 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
+	release, retry, ok := s.adm.acquire("/simulate")
+	if !ok {
+		writeShed(w, "/simulate", retry)
+		return
+	}
+	defer release()
 	nStr := r.FormValue("n")
 	if nStr == "" {
 		writeError(w, http.StatusBadRequest, "missing required parameter n")
